@@ -1,0 +1,87 @@
+"""A2 — Ablation: cell density vs. time-to-wear-out.
+
+§1: "the technology trends in future generations of flash devices, such
+as encoding more bits in fewer cells with more, fine-grained charging
+cycles (MLC and TLC flash), will exacerbate this problem."  The
+benchmark wears out the same device built over SLC, MLC, and TLC media
+and shows the attack getting strictly faster with density.  It also
+quantifies the §2.2 healing effect: idle detrapping buys back a little
+lifetime.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import WearOutExperiment
+from repro.devices import DEVICE_SPECS
+from repro.flash import CellType
+from repro.flash.cell import CELL_SPECS
+from repro.flash.healing import HealingModel
+from repro.flash.package import FlashPackage
+from repro.fs import Ext4Model
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+from benchmarks.conftest import save_artifact
+
+#: Nominal endurance per §2.1: SLC ~100K (we derate to keep runtimes
+#: sane while preserving the ordering), MLC ~3K, TLC ~1K.
+ENDURANCE = {CellType.SLC: 30_000, CellType.MLC: 3_000, CellType.TLC: 1_000}
+
+
+def time_to_level2(cell_type: CellType) -> float:
+    spec = dataclasses.replace(
+        DEVICE_SPECS["emmc-8gb"], cell_type=cell_type, endurance=ENDURANCE[cell_type]
+    )
+    device = spec.build(scale=256, seed=7)
+    fs = Ext4Model(device)
+    workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=7)
+    result = WearOutExperiment(device, workload, filesystem=fs).run(until_level=2)
+    return result.increments[0].hours
+
+
+def healing_benefit() -> float:
+    """Relative wear reduction from 30 idle days at a healing-enabled
+    package vs. none."""
+    from repro.flash import FlashGeometry
+
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=32)
+    healing = FlashPackage(
+        geom, healing=HealingModel(recoverable_fraction=0.2, time_constant_days=30), seed=1
+    )
+    permanent = FlashPackage(geom, seed=1)
+    blocks = np.arange(32)
+    for _ in range(100):
+        healing.erase_blocks(blocks)
+        permanent.erase_blocks(blocks)
+    healing.idle(30 * 86400.0)
+    return 1.0 - healing.pe_counts.mean() / permanent.pe_counts.mean()
+
+
+def run_ablation():
+    hours = {ct: time_to_level2(ct) for ct in (CellType.SLC, CellType.MLC, CellType.TLC)}
+    return hours, healing_benefit()
+
+
+def test_cell_density_ablation(benchmark, results_dir):
+    hours, healed_fraction = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    # Denser cells wear out strictly faster, roughly with endurance.
+    assert hours[CellType.SLC] > hours[CellType.MLC] > hours[CellType.TLC]
+    assert hours[CellType.MLC] / hours[CellType.TLC] == pytest.approx(3.0, rel=0.2)
+
+    # Healing recovers some, but not most, of the accumulated wear.
+    assert 0.05 < healed_fraction < 0.25
+
+    rows = [
+        [ct.name, f"{ENDURANCE[ct]}", f"{hours[ct]:.1f}", f"{hours[ct] * 10 / 24:.1f}"]
+        for ct in (CellType.SLC, CellType.MLC, CellType.TLC)
+    ]
+    artifact = format_table(
+        ["Cell type", "Endurance (P/E)", "Hours per increment", "Projected EOL (days)"], rows
+    )
+    artifact += f"\n\nidle healing (30 days, 20% recoverable): {healed_fraction:.0%} wear recovered"
+    save_artifact(results_dir, "ablation_celltype", artifact)

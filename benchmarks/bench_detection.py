@@ -1,0 +1,80 @@
+"""E7 — §4.4 "Detection": evading Android's monitors.
+
+Paper result (in text): the naive attack shows up in the power monitor
+(on battery) and the running-apps view (screen on); running only while
+charging with the screen off evades both, and "even a stealthy version
+of this experiment could brick a phone within some reasonable factor of
+the time in these experiments".
+
+The benchmark runs both strategies on a simulated Moto E with benign
+apps installed, then projects real time-to-brick from the measured duty
+cycle and the device's full-rate end-of-life time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import format_table
+from repro.android import Phone, WearAttackApp
+from repro.android.app import BenignTraceApp
+from repro.core import WearOutExperiment
+from repro.devices import DEVICE_SPECS, build_device
+from repro.fs import Ext4Model
+from repro.units import GIB, KIB
+from repro.workloads import FileRewriteWorkload
+from repro.workloads.traces import BENIGN_TRACES
+
+from benchmarks.conftest import save_artifact
+
+
+def run_detection():
+    outcomes = {}
+    for strategy in ("naive", "stealthy"):
+        spec = dataclasses.replace(DEVICE_SPECS["moto-e-8gb"], endurance=100_000)
+        phone = Phone(spec.build(scale=128, seed=11), filesystem="ext4")
+        attack = WearAttackApp(strategy=strategy, seed=11)
+        phone.install(attack)
+        phone.install(BenignTraceApp(BENIGN_TRACES["messenger"], seed=1))
+        phone.install(BenignTraceApp(BENIGN_TRACES["camera"], seed=2))
+        report = phone.run(hours=72, tick_seconds=120)
+        outcomes[strategy] = (attack, report)
+
+    # Full-rate end-of-life hours for the same phone model.
+    device = build_device("moto-e-8gb", scale=256, seed=11)
+    fs = Ext4Model(device)
+    workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=11)
+    eol = WearOutExperiment(device, workload, filesystem=fs).run(until_level=2)
+    eol_hours = eol.increments[0].hours * 10
+    return outcomes, eol_hours
+
+
+def test_detection_and_evasion(benchmark, results_dir):
+    outcomes, eol_hours = benchmark.pedantic(run_detection, rounds=1, iterations=1)
+
+    naive_attack, naive_report = outcomes["naive"]
+    stealthy_attack, stealthy_report = outcomes["stealthy"]
+
+    # The naive attack is flagged; only the attack app is flagged.
+    assert naive_report.detected_apps == [naive_attack.name]
+    monitors = {e.monitor for e in naive_report.detections}
+    assert monitors & {"power", "process"}
+
+    # The stealthy attack evades every monitor while still writing GiBs.
+    assert stealthy_report.detections == []
+    assert stealthy_report.app_bytes[stealthy_attack.name] > GIB
+
+    # Projection: stealthy time-to-brick within a reasonable factor.
+    duty = stealthy_report.attack_duty_cycle
+    assert duty > 0.15
+    projected_days = eol_hours / duty / 24
+    assert projected_days < 60  # days-to-weeks, times the duty factor
+
+    rows = [
+        ["naive", ", ".join(sorted(monitors)) or "-", f"{naive_report.attack_duty_cycle:.0%}", "-"],
+        ["stealthy", "none", f"{duty:.0%}", f"{projected_days:.1f} days"],
+    ]
+    artifact = format_table(
+        ["Strategy", "Detected by", "Duty cycle", "Projected time-to-brick"], rows
+    )
+    save_artifact(results_dir, "detection_evasion", artifact)

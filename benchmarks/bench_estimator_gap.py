@@ -1,0 +1,51 @@
+"""E8 — §2.3 vs §4.3: the back-of-the-envelope gap.
+
+Paper claim (in text): the 8GB eMMC's measured endurance is "roughly
+three times lower than the back-of-the-envelope three thousand or more
+complete rewrites".  The benchmark runs the wear-out to end of life and
+compares against the §2.3 estimator.
+"""
+
+import pytest
+
+from repro.analysis import compare, format_table
+from repro.core import WearOutExperiment, estimate_lifetime
+from repro.devices import build_device
+from repro.fs import Ext4Model
+from repro.units import GB, GIB, KIB
+from repro.workloads import FileRewriteWorkload
+
+from benchmarks.conftest import save_artifact
+
+
+def run_gap():
+    device = build_device("emmc-8gb", scale=256, seed=7)
+    fs = Ext4Model(device)
+    workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=7)
+    result = WearOutExperiment(device, workload, filesystem=fs).run(until_level=11)
+    return result
+
+
+def test_estimator_gap(benchmark, results_dir):
+    result = benchmark.pedantic(run_gap, rounds=1, iterations=1)
+    estimate = estimate_lifetime(8 * GB, endurance=3000)
+
+    measured_total = sum(rec.host_bytes for rec in result.increments)
+    gap = estimate.total_write_bytes / measured_total
+    assert compare("back-of-envelope-gap", gap).within_band
+
+    # The naive model also wildly overestimates wall-clock lifetime at
+    # the attack's observed throughput.
+    throughput_mib_s = measured_total / 2**20 / result.total_seconds
+    naive_days = estimate.lifetime_days_at_throughput(throughput_mib_s)
+    measured_days = result.total_seconds / 86400
+    assert naive_days > 2 * measured_days
+
+    rows = [
+        ["back-of-the-envelope total writes", f"{estimate.total_write_bytes / GIB:.0f} GiB"],
+        ["measured writes to exceed lifetime", f"{measured_total / GIB:.0f} GiB"],
+        ["gap", f"{gap:.1f}x"],
+        ["naive lifetime at attack throughput", f"{naive_days:.1f} days"],
+        ["measured time to exceed lifetime", f"{measured_days:.1f} days"],
+    ]
+    save_artifact(results_dir, "estimator_gap", format_table(["Quantity", "Value"], rows))

@@ -1,0 +1,58 @@
+"""E1/E2 — Figure 1: write bandwidth vs. request size, seq and random.
+
+Paper artifact: two panels of five device curves over request sizes
+0.5 KiB .. 16 MiB.  The shapes that must hold (§4.2):
+
+* throughput scales with request size, then plateaus;
+* eMMC chips beat the microSD card everywhere, including random I/O;
+* eMMC random ~ sequential (once requests cover a mapping unit), while
+  the uSD collapses on small random writes.
+"""
+
+import pytest
+
+from repro.analysis import bandwidth_table
+from repro.devices import DEVICE_SPECS
+from repro.units import KIB
+from repro.workloads import sweep_block_sizes
+
+from benchmarks.conftest import save_artifact
+
+DEVICES = ["usd-16gb", "emmc-8gb", "emmc-16gb", "moto-e-8gb", "samsung-s6-32gb"]
+SCALE = 256
+
+
+def run_sweep(pattern: str):
+    points = []
+    for key in DEVICES:
+        spec = DEVICE_SPECS[key]
+        points.extend(
+            sweep_block_sizes(lambda spec=spec: spec.build(scale=SCALE, seed=1), pattern, seed=1)
+        )
+    return points
+
+
+@pytest.mark.parametrize("pattern", ["seq", "rand"])
+def test_fig1_bandwidth(benchmark, results_dir, pattern):
+    points = benchmark.pedantic(run_sweep, args=(pattern,), rounds=1, iterations=1)
+
+    by_dev = {}
+    for p in points:
+        by_dev.setdefault(p.device_name, {})[p.request_bytes] = p.mib_per_s
+
+    # Shape: monotone non-decreasing then plateau for every device.
+    for dev, series in by_dev.items():
+        sizes = sorted(series)
+        bws = [series[s] for s in sizes]
+        assert all(b2 >= b1 * 0.98 for b1, b2 in zip(bws, bws[1:])), dev
+
+    # eMMC beats uSD at every size, both patterns (§4.2 conclusion 1).
+    for size in sorted(by_dev["uSD 16GB"]):
+        assert by_dev["eMMC 8GB"][size] > by_dev["uSD 16GB"][size]
+
+    if pattern == "rand":
+        # Figure 1b: the uSD random-write collapse at 4 KiB.
+        assert by_dev["uSD 16GB"][4 * KIB] < 1.0
+
+    panel = "1a" if pattern == "seq" else "1b"
+    save_artifact(results_dir, f"fig{panel}_bandwidth_{pattern}", bandwidth_table(points))

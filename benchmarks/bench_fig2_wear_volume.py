@@ -1,0 +1,50 @@
+"""E3 — Figure 2: I/O volume per wear-out indicator increment.
+
+Paper artifact: GiB of writes needed to advance the wear indicator by
+one level on the two external eMMC chips, across the whole lifetime.
+Headline numbers: <=992 GiB per increment on the 8GB part; the volume
+is "mostly constant throughout the lifetime"; the 16GB part needs
+~2.2 TiB per (Type B) increment.
+"""
+
+import pytest
+
+from repro.analysis import compare, increments_table
+from repro.core import WearOutExperiment
+from repro.devices import build_device
+from repro.fs import Ext4Model
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+from benchmarks.conftest import save_artifact
+
+
+def wear_out(key: str, scale: int, until_level: int, seed: int = 7):
+    dev = build_device(key, scale=scale, seed=seed)
+    fs = Ext4Model(dev)
+    wl = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=seed)
+    return WearOutExperiment(dev, wl, filesystem=fs).run(until_level=until_level)
+
+
+def test_fig2_emmc_8gb(benchmark, results_dir):
+    result = benchmark.pedantic(
+        wear_out, args=("emmc-8gb", 512, 11), rounds=1, iterations=1
+    )
+    volumes = [rec.host_gib for rec in result.increments_for("A")]
+    assert len(volumes) >= 10
+    # <=992 GiB per increment, constant across the lifetime.
+    assert compare("emmc8-gib-per-increment", max(volumes)).within_band
+    assert max(volumes) / min(volumes) < 1.2
+    save_artifact(results_dir, "fig2_emmc8_wear_volume", increments_table(result))
+
+
+def test_fig2_emmc_16gb(benchmark, results_dir):
+    result = benchmark.pedantic(
+        wear_out, args=("emmc-16gb", 512, 4), rounds=1, iterations=1
+    )
+    volumes = [rec.host_gib for rec in result.increments_for("B")]
+    assert volumes
+    assert compare("emmc16-typeb-gib-per-increment", volumes[0]).within_band
+    projected_eol_tib = volumes[0] * 10 / 1024
+    assert compare("emmc16-eol-tib", projected_eol_tib).within_band
+    save_artifact(results_dir, "fig2_emmc16_wear_volume", increments_table(result, "B"))

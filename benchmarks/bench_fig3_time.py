@@ -1,0 +1,58 @@
+"""E5 — Figure 3: time to increment the wear indicator per device.
+
+Paper artifact: horizontal time bars (hours) for the first indicator
+increments on Samsung S6 32GB, Moto E 8GB (F2FS), Moto E 8GB (Ext4),
+eMMC 16GB, and eMMC 8GB.  The shapes that must hold:
+
+* every device's increments take tens of hours — "the storage device in
+  all phone models can be worn out in a matter of days to a few weeks";
+* the Moto E under F2FS takes *longer* per increment than under Ext4
+  despite needing half the app volume (F2FS throughput is lower).
+"""
+
+import pytest
+
+from repro.analysis import ascii_series
+from repro.core import WearOutExperiment
+from repro.devices import build_device
+from repro.fs import Ext4Model, F2fsModel
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+from benchmarks.conftest import save_artifact
+
+SERIES = [
+    ("Samsung S6 32GB", "samsung-s6-32gb", Ext4Model),
+    ("Moto E 8GB F2FS", "moto-e-8gb", F2fsModel),
+    ("Moto E 8GB", "moto-e-8gb", Ext4Model),
+    ("eMMC 16GB", "emmc-16gb", Ext4Model),
+    ("eMMC 8GB", "emmc-8gb", Ext4Model),
+]
+
+
+def first_increment_hours():
+    hours = {}
+    for label, key, fs_cls in SERIES:
+        device = build_device(key, scale=256, seed=7)
+        fs = fs_cls(device)
+        workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=7)
+        result = WearOutExperiment(device, workload, filesystem=fs).run(until_level=2)
+        hours[label] = result.increments[0].hours
+    return hours
+
+
+def test_fig3_time_per_increment(benchmark, results_dir):
+    hours = benchmark.pedantic(first_increment_hours, rounds=1, iterations=1)
+
+    # Every device increments within tens of hours -> EOL in days/weeks.
+    for label, h in hours.items():
+        assert 2 < h < 100, label
+        eol_days = h * 10 / 24
+        assert eol_days < 30, label
+
+    # F2FS is slower than Ext4 on the same phone (Figure 3 + §4.4).
+    assert hours["Moto E 8GB F2FS"] > hours["Moto E 8GB"]
+
+    labels = list(hours)
+    chart = ascii_series(labels, [hours[l] for l in labels], unit=" h")
+    save_artifact(results_dir, "fig3_time_to_increment", chart)

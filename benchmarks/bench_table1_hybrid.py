@@ -1,0 +1,84 @@
+"""E4 — Table 1: the hybrid eMMC 16GB's two wear indicators over phases.
+
+Paper artifact: per-increment rows for "Type A" and "Type B" flash
+cells while the I/O pattern (4 KiB rand / 128 KiB seq / rand rewrite)
+and space utilization (0% / 90%+) vary.  The shapes that must hold:
+
+* Type B wears steadily (~2.2 TiB/level) regardless of pattern;
+* Type A needs roughly an order of magnitude more device traffic per
+  level under normal routing;
+* once the device is highly utilized and rewrites target utilized
+  space, the pools merge and Type A's per-level volume collapses to
+  hundreds of GiB while throughput drops.
+"""
+
+import pytest
+
+from repro.analysis import compare, table1_rows
+from repro.core import WearOutExperiment
+from repro.devices import build_device
+from repro.fs import Ext4Model
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload, fill_static_space
+
+from benchmarks.conftest import save_artifact
+
+
+def run_table1():
+    device = build_device("emmc-16gb", scale=256, seed=5)
+    fs = Ext4Model(device)
+    experiment = WearOutExperiment(
+        device,
+        FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, pattern="rand", seed=5),
+        filesystem=fs,
+    )
+    # Phase 1: 4 KiB rand, 0% static.
+    for _ in range(2):
+        experiment.run_one_increment("B")
+    # Phase 2: 128 KiB seq, 0% static.
+    experiment.workload = FileRewriteWorkload(
+        fs, request_bytes=128 * KIB, pattern="seq",
+        target_files=experiment.workload.files, seed=5,
+    )
+    experiment.run_one_increment("B")
+    # Phase 3: 90%+ utilization, rewrites aimed at the utilized space.
+    static = fill_static_space(fs, 0.86)
+    experiment.workload = FileRewriteWorkload(
+        fs, request_bytes=4 * KIB, pattern="rand", target_files=static[:2], seed=6
+    )
+    merged = device.ftl.merged_mode
+    experiment.run_one_increment("A")
+    experiment.run_one_increment("A")
+    return device, experiment.result, merged
+
+
+def test_table1_hybrid(benchmark, results_dir):
+    device, result, merged_at_phase3 = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    b_recs = result.increments_for("B")
+    a_recs = result.increments_for("A")
+    assert len(b_recs) >= 3 and len(a_recs) >= 2
+
+    # Type B: steady per-level volume across the 4 KiB random phases.
+    rand_volumes = [rec.host_gib for rec in b_recs[:2]]
+    assert compare("emmc16-typeb-gib-per-increment", rand_volumes[0]).within_band
+    assert max(rand_volumes) / min(rand_volumes) < 1.2
+
+    # Known divergence (EXPERIMENTS.md): our mapping-unit model wears
+    # half as fast per byte under 128 KiB sequential writes, so the seq
+    # phase needs up to ~2x the paper's per-level volume.  Direction
+    # that must hold regardless: seq phases wear out *faster in time*.
+    seq_rec = b_recs[2]
+    assert rand_volumes[0] <= seq_rec.host_gib <= 2.5 * rand_volumes[0]
+    assert seq_rec.hours < b_recs[0].hours
+
+    # Pools merged under 90%+ rewrite, and Type A then wears out in
+    # hundreds of GiB per level.
+    assert merged_at_phase3
+    merged_a = a_recs[-1]
+    assert compare("emmc16-typea-merged-gib", merged_a.host_gib).within_band
+
+    # Type A's first level needed far more traffic than a merged level.
+    assert a_recs[0].host_gib > 5 * merged_a.host_gib
+
+    save_artifact(results_dir, "table1_hybrid_wear", table1_rows(result))

@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables or figures on
+capacity-scaled devices, prints the reproduced rows/series, compares
+them against the calibration targets in
+:mod:`repro.analysis.calibration`, and writes the artifact to
+``results/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a reproduced table/figure and echo it to the console."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

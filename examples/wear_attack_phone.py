@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The §4.4 smartphone attack: naive vs. stealthy, detection vs. brick.
+
+Installs the unprivileged wear-out app on a simulated Moto E alongside
+benign apps, and contrasts:
+
+* the *naive* strategy (writes flat out) — flagged by the process
+  monitor at the user's first screen session and by the power monitor
+  on battery;
+* the *stealthy* strategy (writes only while charging with the screen
+  off) — never detected, and the phone bricks anyway.
+
+Run:  python examples/wear_attack_phone.py
+"""
+
+from repro import Phone, WearAttackApp, build_device
+from repro.android.app import BenignTraceApp
+from repro.units import GIB, HOUR
+from repro.workloads.traces import BENIGN_TRACES
+
+
+def run_strategy(strategy: str, hours: float, endurance_scale_key: str = "moto-e-8gb"):
+    device = build_device(endurance_scale_key, scale=256, seed=11)
+    phone = Phone(device, filesystem="ext4")
+    attack = WearAttackApp(strategy=strategy, seed=11)
+    phone.install(attack)
+    phone.install(BenignTraceApp(BENIGN_TRACES["messenger"], seed=1))
+    phone.install(BenignTraceApp(BENIGN_TRACES["camera"], seed=2))
+    report = phone.run(hours=hours, tick_seconds=120)
+    return phone, attack, report
+
+
+def main() -> None:
+    print("=== naive attack (24 h) ===")
+    phone, attack, report = run_strategy("naive", hours=24)
+    for event in report.detections:
+        print(
+            f"  DETECTED by {event.monitor} monitor at t={event.t_seconds / HOUR:.1f} h: "
+            f"{event.app_name} ({event.detail})"
+        )
+    if not report.detections:
+        print("  no detections")
+    print(f"  attack wrote {report.app_bytes.get(attack.name, 0) / GIB:.1f} GiB")
+    print(f"  peak temperature: {report.peak_temperature_c:.1f} C")
+
+    print()
+    print("=== stealthy attack (3 days) ===")
+    phone, attack, report = run_strategy("stealthy", hours=72)
+    print(f"  detections: {len(report.detections)} (evasion: charge-only + screen-off)")
+    print(f"  duty cycle: {report.attack_duty_cycle:.0%} of the attack's day")
+    print(f"  attack wrote {report.app_bytes.get(attack.name, 0) / GIB:.1f} GiB unnoticed")
+    print(f"  storage health: {phone.device.health_report().describe()}")
+
+    print()
+    print("=== stealthy attack on a budget phone, run to the end ===")
+    device = build_device("blu-512mb", scale=8, seed=11)
+    phone = Phone(device, filesystem="ext4")
+    attack = WearAttackApp(strategy="stealthy", seed=11)
+    phone.install(attack)
+    report = phone.run(hours=24 * 30, tick_seconds=300)
+    if report.bricked:
+        days = report.bricked_at / (24 * HOUR)
+        print(f"  BLU 512MB BRICKED after {days:.1f} days, {len(report.detections)} detections")
+    else:
+        print("  survived the simulated month")
+
+
+if __name__ == "__main__":
+    main()

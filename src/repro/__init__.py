@@ -1,0 +1,133 @@
+"""repro — reproduction of "Flash Drive Lifespan *is* a Problem" (HotOS '17).
+
+A simulator-backed reproduction of Zhang, Zuck, Porter & Tsafrir's
+demonstration that unprivileged mobile apps can wear out (and brick)
+smartphone flash storage in days.  The package provides:
+
+* a NAND flash media model with P/E-cycle wear, bit-error growth, ECC
+  budgets and healing (:mod:`repro.flash`);
+* plain and hybrid (Type A/Type B) flash translation layers with the
+  JEDEC eMMC wear-out indicators the paper reads (:mod:`repro.ftl`);
+* calibrated models of the paper's seven devices (:mod:`repro.devices`);
+* Ext4 and F2FS filesystem models (:mod:`repro.fs`);
+* an Android phone model with the attack app, its detection-evasion
+  logic, and the platform monitors (:mod:`repro.android`);
+* the paper's workloads and the §4.5 mitigations
+  (:mod:`repro.workloads`, :mod:`repro.mitigations`);
+* experiment runners and paper-calibration comparisons
+  (:mod:`repro.core`, :mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import build_device, Ext4Model, FileRewriteWorkload, WearOutExperiment
+
+    device = build_device("emmc-8gb", scale=128, seed=7)
+    fs = Ext4Model(device)
+    workload = FileRewriteWorkload(fs, num_files=4, seed=7)
+    result = WearOutExperiment(device, workload, filesystem=fs).run(until_level=11)
+    print(result.summary())
+"""
+
+from repro.core import (
+    BackOfEnvelopeEstimate,
+    IncrementRecord,
+    SimClock,
+    WearOutExperiment,
+    WearOutResult,
+    estimate_lifetime,
+)
+from repro.devices import (
+    DEVICE_SPECS,
+    BlockDevice,
+    DeviceSpec,
+    EmmcDevice,
+    HealthReport,
+    MicroSdDevice,
+    PerformanceModel,
+    UfsDevice,
+    build_device,
+)
+from repro.errors import (
+    AppKilledError,
+    ConfigurationError,
+    DeviceBricked,
+    DeviceError,
+    DeviceWornOut,
+    OutOfSpaceError,
+    PermissionDenied,
+    ReadOnlyError,
+    ReproError,
+    UncorrectableError,
+)
+from repro.flash import (
+    BerModel,
+    CellSpec,
+    CellType,
+    EccConfig,
+    FlashGeometry,
+    FlashPackage,
+    HealingModel,
+)
+from repro.fs import Ext4Model, F2fsModel, File, FileSystem, make_filesystem
+from repro.ftl import FtlStats, HybridFTL, PageMappedFTL, PreEolState, WearIndicator, wear_level
+from repro.android import (
+    App,
+    ChargingSchedule,
+    DetectionEvent,
+    Phone,
+    PhoneRunReport,
+    PowerMonitor,
+    ProcessMonitor,
+    ScreenSchedule,
+    ThermalModel,
+    WearAttackApp,
+)
+from repro.mitigations import (
+    AppIoFeatures,
+    IoAccountant,
+    IoPatternClassifier,
+    LifespanRateLimiter,
+    LifetimeBudgetPolicy,
+    TokenBucket,
+    WearMonitor,
+)
+from repro.workloads import (
+    BandwidthPoint,
+    FileRewriteWorkload,
+    fill_static_space,
+    measure_bandwidth,
+    sweep_block_sizes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SimClock", "WearOutExperiment", "WearOutResult", "IncrementRecord",
+    "BackOfEnvelopeEstimate", "estimate_lifetime",
+    # devices
+    "BlockDevice", "EmmcDevice", "UfsDevice", "MicroSdDevice",
+    "PerformanceModel", "HealthReport", "DeviceSpec", "DEVICE_SPECS", "build_device",
+    # flash
+    "FlashGeometry", "FlashPackage", "CellType", "CellSpec",
+    "BerModel", "EccConfig", "HealingModel",
+    # ftl
+    "PageMappedFTL", "HybridFTL", "FtlStats", "WearIndicator", "PreEolState", "wear_level",
+    # fs
+    "FileSystem", "File", "Ext4Model", "F2fsModel", "make_filesystem",
+    # android
+    "Phone", "PhoneRunReport", "App", "WearAttackApp",
+    "ChargingSchedule", "ScreenSchedule", "ThermalModel",
+    "PowerMonitor", "ProcessMonitor", "DetectionEvent",
+    # mitigations
+    "WearMonitor", "IoAccountant", "TokenBucket", "LifespanRateLimiter",
+    "IoPatternClassifier", "AppIoFeatures", "LifetimeBudgetPolicy",
+    # workloads
+    "FileRewriteWorkload", "fill_static_space",
+    "measure_bandwidth", "sweep_block_sizes", "BandwidthPoint",
+    # errors
+    "ReproError", "ConfigurationError", "DeviceError", "DeviceWornOut",
+    "DeviceBricked", "UncorrectableError", "ReadOnlyError", "OutOfSpaceError",
+    "PermissionDenied", "AppKilledError",
+]

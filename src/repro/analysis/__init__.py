@@ -1,0 +1,21 @@
+"""Analysis and presentation helpers.
+
+Renders experiment results in the shape of the paper's artifacts
+(Figure 2 / Table 1 rows, Figure 3 time bars) and compares measured
+values against the calibration targets recorded from the paper text.
+"""
+
+from repro.analysis.tables import format_table, increments_table, table1_rows
+from repro.analysis.figures import ascii_series, bandwidth_table
+from repro.analysis.calibration import CalibrationTarget, PAPER_TARGETS, compare
+
+__all__ = [
+    "format_table",
+    "increments_table",
+    "table1_rows",
+    "ascii_series",
+    "bandwidth_table",
+    "CalibrationTarget",
+    "PAPER_TARGETS",
+    "compare",
+]

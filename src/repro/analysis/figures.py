@@ -1,0 +1,53 @@
+"""Text renditions of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.units import KIB, MIB
+from repro.workloads.microbench import BandwidthPoint
+
+
+def _size_label(size: int) -> str:
+    if size >= MIB:
+        return f"{size // MIB}MiB" if size % MIB == 0 else f"{size / MIB:.1f}MiB"
+    if size >= KIB:
+        return f"{size // KIB}KiB" if size % KIB == 0 else f"{size / KIB:.1f}KiB"
+    return f"{size}B"
+
+
+def bandwidth_table(points: Iterable[BandwidthPoint]) -> str:
+    """Figure 1 as a table: devices x request sizes, MiB/s cells."""
+    by_device: Dict[str, Dict[int, float]] = {}
+    sizes: List[int] = []
+    for p in points:
+        by_device.setdefault(p.device_name, {})[p.request_bytes] = p.mib_per_s
+        if p.request_bytes not in sizes:
+            sizes.append(p.request_bytes)
+    sizes.sort()
+    headers = ["Device"] + [_size_label(s) for s in sizes]
+    rows = []
+    for device, series in by_device.items():
+        rows.append([device] + [f"{series.get(s, float('nan')):.1f}" for s in sizes])
+    return format_table(headers, rows)
+
+
+def ascii_series(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (Figure 3's time bars)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(empty)"
+    peak = max(values) or 1.0
+    label_w = max(len(lbl) for lbl in labels)
+    lines = []
+    for lbl, val in zip(labels, values):
+        bar = "#" * max(1, int(val / peak * width)) if val > 0 else ""
+        lines.append(f"{lbl.ljust(label_w)} |{bar} {val:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.results import IncrementRecord, WearOutResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2]]))
+    a  b
+    -  -
+    1  2
+    """
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def increments_table(result: WearOutResult, memory_type: Optional[str] = None) -> str:
+    """Figure 2 / Figure 4 style: I/O volume per wear-out increment."""
+    records = (
+        result.increments
+        if memory_type is None
+        else result.increments_for(memory_type)
+    )
+    rows = [
+        [
+            rec.label,
+            f"{rec.host_gib:.1f}",
+            f"{rec.app_gib:.1f}",
+            f"{rec.hours:.2f}",
+            rec.io_pattern,
+        ]
+        for rec in records
+    ]
+    title = f"{result.device_name}" + (f" ({result.filesystem})" if result.filesystem else "")
+    table = format_table(
+        ["Indicator", "Host GiB", "App GiB", "Hours", "Pattern"], rows
+    )
+    return f"{title}\n{table}"
+
+
+def table1_rows(result: WearOutResult) -> str:
+    """Table 1 style: both memory types' increments side by side."""
+    sections = []
+    for mem in ("A", "B"):
+        records = result.increments_for(mem)
+        if not records:
+            continue
+        rows = [
+            [
+                rec.label,
+                f"{rec.host_gib:.2f}",
+                f"{rec.hours:.2f}",
+                rec.io_pattern,
+                f"{rec.space_utilization:.0%}",
+            ]
+            for rec in records
+        ]
+        table = format_table(
+            ["Indic.", "I/O Vol. (GiB)", "Time (h)", "I/O Pattern", "Space Util."], rows
+        )
+        sections.append(f"Type {mem} flash cell\n{table}")
+    return "\n\n".join(sections)

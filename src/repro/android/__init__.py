@@ -1,0 +1,29 @@
+"""Android platform model.
+
+The pieces of §4.4: an app sandbox where unprivileged apps own a
+private storage area (and need *no permissions* to write it), the
+power and process monitors a malicious app must evade, charging and
+screen schedules that create the evasion windows, a thermal model, and
+the wear-out attack app itself.
+"""
+
+from repro.android.battery import ChargingSchedule
+from repro.android.screen import ScreenSchedule
+from repro.android.thermal import ThermalModel
+from repro.android.monitors import DetectionEvent, PowerMonitor, ProcessMonitor
+from repro.android.app import App
+from repro.android.malware import WearAttackApp
+from repro.android.phone import Phone, PhoneRunReport
+
+__all__ = [
+    "ChargingSchedule",
+    "ScreenSchedule",
+    "ThermalModel",
+    "DetectionEvent",
+    "PowerMonitor",
+    "ProcessMonitor",
+    "App",
+    "WearAttackApp",
+    "Phone",
+    "PhoneRunReport",
+]

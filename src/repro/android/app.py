@@ -1,0 +1,118 @@
+"""Application model and storage sandbox.
+
+"Mobile applications, by default, do not have direct access to the
+underlying storage device" (§4.4) — they write files in a private
+storage area the platform allocates for them, and doing so requires no
+permissions at all.  That is precisely what makes the attack app
+"trivial" and "unprivileged": it only ever touches its own files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PermissionDenied
+from repro.fs.interface import File
+
+
+class App:
+    """Base class for simulated Android apps.
+
+    Subclasses implement :meth:`on_tick`, returning the I/O they want
+    to perform this tick; the :class:`~repro.android.phone.Phone`
+    executes it through the sandbox.
+
+    Args:
+        name: Package-name-like identifier.
+        permissions: Granted permission strings.  Writing private
+            storage needs none.
+    """
+
+    #: Whether this app's I/O participates in capacity scaling: True for
+    #: wear-dominating workloads (requests divided by the device scale,
+    #: reported volumes multiplied back); False for light benign apps,
+    #: which write their real volumes directly — their wear contribution
+    #: is negligible and the monitors then observe true rates.
+    scale_io = False
+
+    def __init__(self, name: str, permissions: Optional[Set[str]] = None):
+        self.name = name
+        self.permissions = set(permissions or ())
+        self.private_files: Dict[str, File] = {}
+        self.bytes_written = 0
+        self.flagged = False
+        self.killed = False
+
+    # ------------------------------------------------------------------
+
+    def on_install(self, phone) -> None:
+        """Called once when installed; create private files here."""
+
+    def on_tick(self, phone, t_seconds: float, dt_seconds: float) -> List[Tuple[File, np.ndarray, int]]:
+        """Return the writes to issue: (file, offsets, request_bytes).
+
+        The default app is idle.
+        """
+        return []
+
+    # ------------------------------------------------------------------
+
+    def create_private_file(self, phone, name: str, size: int) -> File:
+        """Allocate a file in this app's private storage area."""
+        handle = phone.fs.create_file(f"{self.name}/{name}", size)
+        self.private_files[handle.name] = handle
+        return handle
+
+    def check_write_allowed(self, file: File) -> None:
+        """Sandbox check: private files are free; anything else needs
+        the WRITE_EXTERNAL_STORAGE permission."""
+        if file.name in self.private_files:
+            return
+        if "WRITE_EXTERNAL_STORAGE" not in self.permissions:
+            raise PermissionDenied(
+                f"{self.name} may not write {file.name!r} without WRITE_EXTERNAL_STORAGE"
+            )
+
+
+class BenignTraceApp(App):
+    """An app replaying a statistical trace from :mod:`repro.workloads.traces`."""
+
+    def __init__(self, trace, working_set_bytes: int = 0, seed: int = 0):
+        super().__init__(trace.name)
+        self.trace = trace
+        self.working_set_bytes = working_set_bytes
+        self._seed = seed
+        self._hour_seen = -1
+        self._pending: int = 0
+        self._file: Optional[File] = None
+
+    def on_install(self, phone) -> None:
+        size = self.working_set_bytes or max(
+            16 * phone.fs.page_size, int(self.trace.mean_bytes_per_hour)
+        )
+        size = max(size, self.trace.request_bytes * 4)
+        # Never claim more than a sliver of the (possibly scaled) device.
+        cap = max(4 * phone.fs.page_size, phone.fs.free_bytes() // 8)
+        size = min(size, cap)
+        self._file = self.create_private_file(phone, "data", size)
+
+    def on_tick(self, phone, t_seconds: float, dt_seconds: float):
+        hour = int(t_seconds // 3600)
+        if hour != self._hour_seen:
+            self._hour_seen = hour
+            count, _ = self.trace.sample_hour(seed=self._seed + hour)
+            self._pending = max(0, count)
+        if self._pending <= 0 or self._file is None:
+            return []
+        # Spread the hour's volume across its ticks rather than bursting
+        # it all at once, like a real app streaming its work.
+        per_tick = max(1, int(self._pending * dt_seconds / 3600.0) + 1)
+        take = min(self._pending, per_tick, 256)
+        self._pending -= take
+        rb = min(self.trace.request_bytes, self._file.size)
+        slots = max(1, self._file.size // rb)
+        rng = np.random.default_rng((self._seed, hour, int(t_seconds)))
+        offsets = rng.integers(0, slots, size=take) * rb
+        return [(self._file, offsets, rb)]

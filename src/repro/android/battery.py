@@ -1,0 +1,109 @@
+"""Charging schedule model.
+
+§4.4: "most phones spend a significant fraction of the day charging
+with the screen disabled" — the attack's evasion window.  The schedule
+is a deterministic daily pattern of charging windows, defaulting to an
+overnight charge plus a short top-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class ChargingSchedule:
+    """Daily charging windows, in hours-of-day [start, end).
+
+    Windows may wrap midnight by using start > end (e.g. ``(22, 7)``).
+    """
+
+    windows: Tuple[Tuple[float, float], ...] = ((22.0, 7.0), (13.0, 13.5))
+
+    def __post_init__(self) -> None:
+        for start, end in self.windows:
+            if not (0 <= start <= 24 and 0 <= end <= 24):
+                raise ConfigurationError("window hours must be within [0, 24]")
+
+    def is_charging(self, t_seconds: float) -> bool:
+        """Whether the phone is on the charger at absolute time ``t``."""
+        hour = (t_seconds % DAY) / HOUR
+        for start, end in self.windows:
+            if start <= end:
+                if start <= hour < end:
+                    return True
+            elif hour >= start or hour < end:
+                return True
+        return False
+
+    def daily_charging_fraction(self, resolution_minutes: int = 5) -> float:
+        """Fraction of the day spent charging (schedule integral)."""
+        steps = int(24 * 60 / resolution_minutes)
+        hits = sum(
+            1 for i in range(steps) if self.is_charging(i * resolution_minutes * 60.0)
+        )
+        return hits / steps
+
+    @classmethod
+    def always(cls) -> "ChargingSchedule":
+        """Always on the charger (the external-chip bench setup)."""
+        return cls(windows=((0.0, 24.0),))
+
+    @classmethod
+    def never(cls) -> "ChargingSchedule":
+        return cls(windows=())
+
+
+@dataclass
+class BatteryModel:
+    """Battery charge state.
+
+    A naive flat-out attack drains the battery fast while discharging —
+    both throttling itself (a dead phone writes nothing) and leaving
+    the classic "what ate my battery?" evidence that the §4.4 power
+    monitor surfaces.  The stealthy strategy sidesteps all of it by
+    writing only on the charger.
+
+    Attributes:
+        level: State of charge in [0, 1].
+        charge_rate_per_hour: Charge gained per hour on the charger.
+        idle_drain_per_hour: Baseline drain, screen off.
+        screen_drain_per_hour: Additional drain while the screen is on.
+        io_drain_per_gib: Charge consumed per GiB written.
+    """
+
+    #: ~1 W of storage power against a ~10 Wh battery: a flat-out
+    #: 15 MiB/s writer (52 GiB/h) costs ~10% of charge per hour —
+    #: enough to kill the battery in a day off the charger, trivially
+    #: covered by any charger when on it.
+    level: float = 0.8
+    charge_rate_per_hour: float = 0.5
+    idle_drain_per_hour: float = 0.01
+    screen_drain_per_hour: float = 0.12
+    io_drain_per_gib: float = 0.002
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.0:
+            raise ConfigurationError("battery level must be in [0, 1]")
+
+    @property
+    def empty(self) -> bool:
+        return self.level <= 0.0
+
+    def step(self, dt_seconds: float, charging: bool, screen_on: bool, io_bytes: int = 0) -> float:
+        """Advance the charge state by one tick; returns the new level."""
+        if dt_seconds < 0:
+            raise ConfigurationError("dt must be non-negative")
+        hours = dt_seconds / HOUR
+        delta = -self.idle_drain_per_hour * hours
+        if screen_on:
+            delta -= self.screen_drain_per_hour * hours
+        delta -= self.io_drain_per_gib * io_bytes / (1024 ** 3)
+        if charging:
+            delta += self.charge_rate_per_hour * hours
+        self.level = min(1.0, max(0.0, self.level + delta))
+        return self.level

@@ -1,0 +1,129 @@
+"""Android's built-in monitors and how the attack evades them (§4.4).
+
+Two detection avenues exist before the device bricks:
+
+* The battery/energy monitor — "Android monitors energy consumption,
+  but only when on battery."  An app writing flat out while discharging
+  accumulates attributed energy and gets flagged.
+* The process monitor (the running-apps screen) — refreshes about once
+  a second, but only matters while the screen is lit and the user is
+  looking.
+
+Both monitors emit :class:`DetectionEvent` when their thresholds trip;
+the stealthy attack strategy keeps both below threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.units import HOUR, MIB
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One monitor flagging one app."""
+
+    monitor: str
+    app_name: str
+    t_seconds: float
+    detail: str = ""
+
+
+class PowerMonitor:
+    """Per-app energy attribution, active only on battery.
+
+    I/O energy is charged at ``joules_per_mib`` for bytes written while
+    discharging.  An app whose rolling daily energy exceeds
+    ``flag_threshold_j`` is flagged — the analogue of topping Android's
+    battery-usage list.
+    """
+
+    name = "power"
+
+    def __init__(self, joules_per_mib: float = 0.15, flag_threshold_j: float = 2000.0):
+        if joules_per_mib <= 0 or flag_threshold_j <= 0:
+            raise ConfigurationError("energy parameters must be positive")
+        self.joules_per_mib = joules_per_mib
+        self.flag_threshold_j = flag_threshold_j
+        self._energy: dict = {}
+        self._window_start = 0.0
+        self.events: List[DetectionEvent] = []
+
+    def record_io(self, app_name: str, bytes_written: int, t_seconds: float, charging: bool) -> Optional[DetectionEvent]:
+        """Attribute I/O energy; returns a detection event if flagged."""
+        if charging:
+            # "we can evade detection via power monitoring by only
+            # running I/O intensive work when the phone is charging"
+            return None
+        if t_seconds - self._window_start >= 24 * HOUR:
+            self._energy.clear()
+            self._window_start = t_seconds
+        joules = bytes_written / MIB * self.joules_per_mib
+        total = self._energy.get(app_name, 0.0) + joules
+        self._energy[app_name] = total
+        if total >= self.flag_threshold_j:
+            event = DetectionEvent(
+                monitor=self.name,
+                app_name=app_name,
+                t_seconds=t_seconds,
+                detail=f"{total:.0f} J attributed over current day",
+            )
+            self.events.append(event)
+            return event
+        return None
+
+    def energy_of(self, app_name: str) -> float:
+        return self._energy.get(app_name, 0.0)
+
+
+class ProcessMonitor:
+    """The running-apps view: ~1 s refresh, only observed screen-on.
+
+    An app seen actively doing I/O for ``flag_after_sightings``
+    screen-on samples gets flagged (the user notices the busy service).
+    """
+
+    name = "process"
+
+    def __init__(self, refresh_seconds: float = 1.0, flag_after_sightings: int = 30):
+        if refresh_seconds <= 0 or flag_after_sightings <= 0:
+            raise ConfigurationError("monitor parameters must be positive")
+        self.refresh_seconds = refresh_seconds
+        self.flag_after_sightings = flag_after_sightings
+        self._sightings: dict = {}
+        self.events: List[DetectionEvent] = []
+
+    def sample(self, active_app_names, screen_on: bool, t_seconds: float, dt_seconds: float) -> List[DetectionEvent]:
+        """Observe a tick; returns any new detection events.
+
+        Args:
+            active_app_names: Apps that performed I/O during the tick.
+            screen_on: Whether the user could be looking.
+            t_seconds: Tick start time.
+            dt_seconds: Tick length (number of refreshes it spans).
+        """
+        if not screen_on:
+            return []
+        samples = max(1, int(dt_seconds / self.refresh_seconds))
+        new_events = []
+        for name in active_app_names:
+            count = self._sightings.get(name, 0) + samples
+            self._sightings[name] = count
+            if count >= self.flag_after_sightings and not any(
+                e.app_name == name for e in self.events
+            ):
+                event = DetectionEvent(
+                    monitor=self.name,
+                    app_name=name,
+                    t_seconds=t_seconds,
+                    detail=f"seen busy in {count} screen-on samples",
+                )
+                self.events.append(event)
+                new_events.append(event)
+        return new_events
+
+    def sightings_of(self, app_name: str) -> int:
+        return self._sightings.get(app_name, 0)

@@ -1,0 +1,245 @@
+"""Smartphone model: storage + OS schedules + monitors + brick state.
+
+Ties the stack together for the §4.4 experiments: apps issue sandboxed
+I/O against the phone's filesystem; the charging/screen schedules gate
+the stealthy attack's activity windows; the power and process monitors
+watch for it; and when the storage device wears out, the phone bricks —
+"in terms of repair cost, destroying the flash is tantamount to
+destroying the device" (§1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.android.battery import BatteryModel, ChargingSchedule
+from repro.android.monitors import DetectionEvent, PowerMonitor, ProcessMonitor
+from repro.android.screen import ScreenSchedule
+from repro.android.thermal import ThermalModel
+from repro.core.clock import SimClock
+from repro.devices.interface import BlockDevice
+from repro.errors import (
+    AppKilledError,
+    DeviceBricked,
+    DeviceWornOut,
+    OutOfSpaceError,
+    ReadOnlyError,
+    UncorrectableError,
+)
+from repro.fs import make_filesystem
+from repro.fs.interface import FileSystem
+from repro.units import HOUR
+
+
+@dataclass
+class PhoneRunReport:
+    """Outcome of a :meth:`Phone.run` period."""
+
+    simulated_seconds: float = 0.0
+    bricked: bool = False
+    bricked_at: Optional[float] = None
+    detections: List[DetectionEvent] = field(default_factory=list)
+    app_bytes: Dict[str, int] = field(default_factory=dict)
+    attack_duty_cycle: float = 0.0
+    peak_temperature_c: float = 0.0
+    min_battery_level: float = 1.0
+    dead_battery_seconds: float = 0.0
+
+    @property
+    def detected_apps(self) -> List[str]:
+        return sorted({e.app_name for e in self.detections})
+
+
+class Phone:
+    """A smartphone with internal flash storage and installed apps.
+
+    Args:
+        device: Internal storage (usually from the device catalog).
+        filesystem: "ext4" or "f2fs", or a pre-built FileSystem.
+        charging: Daily charging schedule.
+        screen: Daily screen schedule.
+        kill_flagged_apps: Whether the platform stops apps the monitors
+            flag (off by default — stock Android only *shows* the user).
+        busy_threshold_bytes_per_s: Write rate above which an app shows
+            up as "busy" in the process monitor's running-apps view.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        filesystem: str = "ext4",
+        charging: Optional[ChargingSchedule] = None,
+        screen: Optional[ScreenSchedule] = None,
+        kill_flagged_apps: bool = False,
+        busy_threshold_bytes_per_s: float = 1024 * 1024,
+    ):
+        self.device = device
+        if isinstance(filesystem, FileSystem):
+            self.fs = filesystem
+        else:
+            self.fs = make_filesystem(filesystem, device)
+        self.charging_schedule = charging or ChargingSchedule()
+        self.screen_schedule = screen or ScreenSchedule()
+        self.battery = BatteryModel()
+        self.thermal = ThermalModel()
+        self.power_monitor = PowerMonitor()
+        self.process_monitor = ProcessMonitor()
+        self.kill_flagged_apps = kill_flagged_apps
+        self.busy_threshold_bytes_per_s = busy_threshold_bytes_per_s
+        self.clock = SimClock()
+        self.apps: Dict[str, object] = {}
+        self.bricked = False
+        self.bricked_at: Optional[float] = None
+        self._io_debt = 0.0
+        #: Smoothed per-app write rate (bytes/s); the process monitor's
+        #: "busy" view reflects sustained activity, not one spiky tick.
+        self._rate_ema: Dict[str, float] = {}
+        self._rate_window_s = 900.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_charging(self) -> bool:
+        return self.charging_schedule.is_charging(self.clock.now)
+
+    @property
+    def screen_on(self) -> bool:
+        return self.screen_schedule.is_on(self.clock.now)
+
+    def install(self, app) -> None:
+        if app.name in self.apps:
+            raise ValueError(f"app {app.name!r} already installed")
+        self.apps[app.name] = app
+        app.on_install(self)
+
+    # ------------------------------------------------------------------
+
+    def run(self, hours: float, tick_seconds: float = 60.0) -> PhoneRunReport:
+        """Simulate the phone for ``hours`` of wall-clock time.
+
+        Within each tick every app may issue I/O; the monitors sample;
+        the thermal state advances.  Stops early if the phone bricks.
+        """
+        report = PhoneRunReport()
+        end = self.clock.now + hours * HOUR
+        while self.clock.now < end and not self.bricked:
+            t = self.clock.now
+            dt = min(tick_seconds, end - t)
+            charging = self.is_charging
+            screen = self.screen_on
+            tick_bytes: Dict[str, int] = {}
+
+            if self.battery.empty and not charging:
+                # A dead phone runs nothing until it reaches a charger.
+                self.battery.step(dt, charging=False, screen_on=False)
+                report.dead_battery_seconds += dt
+                self.clock.advance(dt)
+                report.simulated_seconds += dt
+                continue
+
+            if self._io_debt > 0:
+                # Device backpressure: storage is still busy serving the
+                # previous ticks' writes; apps stall until it drains.
+                self._io_debt = max(0.0, self._io_debt - dt)
+                self.battery.step(dt, charging, screen, io_bytes=0)
+                self.clock.advance(dt)
+                report.simulated_seconds += dt
+                continue
+
+            for app in list(self.apps.values()):
+                if app.killed:
+                    continue
+                writes = app.on_tick(self, t, dt)
+                if not writes:
+                    continue
+                for handle, offsets, request_bytes in writes:
+                    app.check_write_allowed(handle)
+                    try:
+                        duration = self.fs.write_requests(handle, offsets, request_bytes)
+                    except (DeviceWornOut, ReadOnlyError, OutOfSpaceError, UncorrectableError):
+                        self._brick(report)
+                        break
+                    # Durations are per-scaled-volume; a full-rate app
+                    # needs scale x that much real device time.
+                    self._io_debt += duration * self.device.scale
+                    # Scaled apps report at full-device equivalents so
+                    # the monitors see real rates (DESIGN.md §6).
+                    io_scale = self.device.scale if getattr(app, "scale_io", False) else 1
+                    volume = int(offsets.size) * request_bytes * io_scale
+                    app.bytes_written += volume
+                    report.app_bytes[app.name] = report.app_bytes.get(app.name, 0) + volume
+                    tick_bytes[app.name] = tick_bytes.get(app.name, 0) + volume
+                    event = self.power_monitor.record_io(app.name, volume, t, charging)
+                    if event is not None:
+                        self._handle_detection(app, event, report)
+                if self.bricked:
+                    break
+
+            # Only apps writing hard enough, *sustained*, to stand out in
+            # the running-apps view are visible to the process monitor.
+            alpha = min(1.0, dt / self._rate_window_s)
+            for name in self.apps:
+                instantaneous = tick_bytes.get(name, 0) / max(dt, 1e-9)
+                previous = self._rate_ema.get(name, 0.0)
+                self._rate_ema[name] = previous + (instantaneous - previous) * alpha
+            # An app shows as busy only while it is actually writing
+            # this tick AND its sustained rate stands out.
+            busy_apps = [
+                name
+                for name, rate in self._rate_ema.items()
+                if rate >= self.busy_threshold_bytes_per_s and tick_bytes.get(name, 0) > 0
+            ]
+            events = self.process_monitor.sample(busy_apps, screen, t, dt)
+            for event in events:
+                app = self.apps.get(event.app_name)
+                if app is not None:
+                    self._handle_detection(app, event, report)
+
+            self.thermal.step(dt, io_active=bool(busy_apps), charging=charging)
+            report.peak_temperature_c = max(report.peak_temperature_c, self.thermal.temperature_c)
+            self.battery.step(dt, charging, screen, io_bytes=sum(tick_bytes.values()))
+            report.min_battery_level = min(report.min_battery_level, self.battery.level)
+            # The tick itself consumes dt of device time.
+            self._io_debt = max(0.0, self._io_debt - dt)
+            self.clock.advance(dt)
+            report.simulated_seconds += dt
+
+        self._finalize(report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _handle_detection(self, app, event: DetectionEvent, report: PhoneRunReport) -> None:
+        if not any(e.app_name == event.app_name and e.monitor == event.monitor for e in report.detections):
+            report.detections.append(event)
+        app.flagged = True
+        if self.kill_flagged_apps:
+            app.killed = True
+
+    def _brick(self, report: PhoneRunReport) -> None:
+        self.bricked = True
+        self.bricked_at = self.clock.now
+        report.bricked = True
+        report.bricked_at = self.clock.now
+
+    def _finalize(self, report: PhoneRunReport) -> None:
+        attack = next(
+            (a for a in self.apps.values() if hasattr(a, "active_seconds")), None
+        )
+        if attack is not None:
+            busy = attack.active_seconds + attack.suppressed_seconds
+            if busy > 0:
+                report.attack_duty_cycle = attack.active_seconds / busy
+
+    def write_boot_partition(self) -> None:
+        """A boot-time write to critical storage; failing it means the
+        phone "finally gets into an unbootable state" (§1)."""
+        if self.bricked:
+            raise DeviceBricked(f"{self.device.name}: phone is bricked")
+        try:
+            self.fs.device.write(0, self.fs.page_size)
+        except (DeviceWornOut, ReadOnlyError, UncorrectableError) as exc:
+            self.bricked = True
+            self.bricked_at = self.clock.now
+            raise DeviceBricked(f"{self.device.name}: boot write failed") from exc

@@ -1,0 +1,54 @@
+"""Screen state model.
+
+§4.4: Android's process monitor only matters while the user is looking
+— "the app can detect when the screen is lit.  By suspending malicious
+I/O when the screen is on, one can effectively evade this process
+monitor."  The schedule models waking hours with periodic usage
+sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class ScreenSchedule:
+    """Deterministic daily screen usage.
+
+    During waking hours [wake_hour, sleep_hour) the user checks the
+    phone at the start of every hour for ``session_minutes``.
+
+    Attributes:
+        wake_hour: Hour of day the user wakes.
+        sleep_hour: Hour of day the user stops using the phone.
+        session_minutes: Screen-on minutes at the top of each waking hour.
+    """
+
+    wake_hour: float = 7.0
+    sleep_hour: float = 23.0
+    session_minutes: float = 12.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.wake_hour < self.sleep_hour <= 24:
+            raise ConfigurationError("need 0 <= wake < sleep <= 24")
+        if not 0 <= self.session_minutes <= 60:
+            raise ConfigurationError("session_minutes must be within one hour")
+
+    def is_on(self, t_seconds: float) -> bool:
+        hour = (t_seconds % DAY) / HOUR
+        if not self.wake_hour <= hour < self.sleep_hour:
+            return False
+        minute_in_hour = (t_seconds % HOUR) / MINUTE
+        return minute_in_hour < self.session_minutes
+
+    def daily_on_fraction(self) -> float:
+        waking_hours = self.sleep_hour - self.wake_hour
+        return waking_hours * (self.session_minutes / 60.0) / 24.0
+
+    @classmethod
+    def always_off(cls) -> "ScreenSchedule":
+        return cls(session_minutes=0.0)

@@ -1,0 +1,15 @@
+"""Command-line interface for the repro toolkit.
+
+``python -m repro <subcommand>`` exposes the main experiments without
+writing any code:
+
+* ``devices``  — list the calibrated device catalog;
+* ``estimate`` — the §2.3 back-of-the-envelope lifetime calculation;
+* ``bandwidth`` — the Figure 1 request-size sweep on one device;
+* ``wearout``  — run the §4.3 wear-out experiment to a target level;
+* ``phone``    — run the §4.4 smartphone attack scenario.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,163 @@
+"""Argument parsing and subcommand dispatch for ``python -m repro``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import bandwidth_table, format_table, increments_table
+from repro.android import Phone, WearAttackApp
+from repro.core import WearOutExperiment, estimate_lifetime
+from repro.devices import DEVICE_SPECS, build_device
+from repro.fs import make_filesystem
+from repro.units import GIB, HOUR, KIB, MIB, parse_size
+from repro.workloads import FileRewriteWorkload, sweep_block_sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Flash Drive Lifespan *is* a Problem' (HotOS '17)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the calibrated device catalog")
+
+    est = sub.add_parser("estimate", help="back-of-the-envelope lifetime (§2.3)")
+    est.add_argument("capacity", help="capacity, e.g. 8GB, or a catalog key like emmc-8gb")
+    est.add_argument("--endurance", type=int, default=3000, help="assumed P/E cycles")
+    est.add_argument("--mib-per-s", type=float, default=20.0, help="sustained write rate")
+
+    bw = sub.add_parser("bandwidth", help="Figure 1 sweep on one device")
+    bw.add_argument("device", choices=sorted(DEVICE_SPECS), help="catalog key")
+    bw.add_argument("--pattern", choices=["seq", "rand"], default="seq")
+    bw.add_argument("--scale", type=int, default=128, help="capacity scale factor")
+    bw.add_argument("--seed", type=int, default=1)
+
+    wear = sub.add_parser("wearout", help="wear-out experiment (§4.3)")
+    wear.add_argument("device", choices=sorted(DEVICE_SPECS), help="catalog key")
+    wear.add_argument("--fs", choices=["ext4", "f2fs"], default="ext4")
+    wear.add_argument("--level", type=int, default=11, help="stop at this indicator level")
+    wear.add_argument("--scale", type=int, default=128, help="capacity scale factor")
+    wear.add_argument("--request-size", default="4KiB", help="per-write size")
+    wear.add_argument("--pattern", choices=["rand", "seq"], default="rand")
+    wear.add_argument("--files", type=int, default=4, help="number of 100MB rewrite targets")
+    wear.add_argument("--seed", type=int, default=7)
+
+    phone = sub.add_parser("phone", help="smartphone attack scenario (§4.4)")
+    phone.add_argument("device", choices=sorted(DEVICE_SPECS), help="catalog key")
+    phone.add_argument("--strategy", choices=["naive", "stealthy"], default="stealthy")
+    phone.add_argument("--fs", choices=["ext4", "f2fs"], default="ext4")
+    phone.add_argument("--hours", type=float, default=72.0, help="simulated phone time")
+    phone.add_argument("--scale", type=int, default=128)
+    phone.add_argument("--seed", type=int, default=11)
+
+    return parser
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    rows = []
+    for key in sorted(DEVICE_SPECS):
+        spec = DEVICE_SPECS[key]
+        rows.append(
+            [
+                key,
+                spec.name,
+                f"{spec.advertised_bytes / 1e9:.2f} GB",
+                spec.cell_type.name,
+                spec.endurance,
+                f"{spec.mapping_unit_pages * 4} KiB",
+                "yes" if spec.hybrid else "no",
+                "yes" if spec.indicator_supported else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["key", "device", "capacity", "cells", "endurance", "map unit", "hybrid", "indicator"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    if args.capacity in DEVICE_SPECS:
+        capacity = DEVICE_SPECS[args.capacity].advertised_bytes
+    else:
+        capacity = parse_size(args.capacity)
+    estimate = estimate_lifetime(capacity, endurance=args.endurance)
+    print(estimate.describe())
+    days = estimate.lifetime_days_at_throughput(args.mib_per_s)
+    print(f"at {args.mib_per_s:g} MiB/s sustained: {days:.1f} days to end of life")
+    print("(the paper measures mobile devices falling ~3x short of this)")
+    return 0
+
+
+def cmd_bandwidth(args: argparse.Namespace) -> int:
+    spec = DEVICE_SPECS[args.device]
+    points = sweep_block_sizes(
+        lambda: spec.build(scale=args.scale, seed=args.seed), args.pattern, seed=args.seed
+    )
+    print(bandwidth_table(points))
+    return 0
+
+
+def cmd_wearout(args: argparse.Namespace) -> int:
+    device = build_device(args.device, scale=args.scale, seed=args.seed)
+    fs = make_filesystem(args.fs, device)
+    workload = FileRewriteWorkload(
+        fs,
+        num_files=args.files,
+        request_bytes=parse_size(args.request_size),
+        pattern=args.pattern,
+        seed=args.seed,
+    )
+    result = WearOutExperiment(device, workload, filesystem=fs).run(until_level=args.level)
+    print(increments_table(result))
+    print()
+    print(result.summary())
+    report = device.health_report()
+    print(f"write amplification: {report.write_amplification:.2f}")
+    return 0
+
+
+def cmd_phone(args: argparse.Namespace) -> int:
+    device = build_device(args.device, scale=args.scale, seed=args.seed)
+    phone = Phone(device, filesystem=args.fs)
+    attack = WearAttackApp(strategy=args.strategy, seed=args.seed)
+    phone.install(attack)
+    report = phone.run(hours=args.hours, tick_seconds=120.0)
+
+    print(f"strategy: {args.strategy}, simulated {report.simulated_seconds / HOUR:.1f} h")
+    print(f"attack wrote {report.app_bytes.get(attack.name, 0) / GIB:.2f} GiB")
+    print(f"duty cycle: {report.attack_duty_cycle:.0%}")
+    if report.detections:
+        for event in report.detections:
+            print(f"DETECTED by {event.monitor} at {event.t_seconds / HOUR:.1f} h: {event.detail}")
+    else:
+        print("detections: none")
+    if report.bricked:
+        print(f"PHONE BRICKED after {report.bricked_at / HOUR / 24:.1f} days")
+    else:
+        print(f"storage health: {device.health_report().describe()}")
+    return 0
+
+
+_COMMANDS = {
+    "devices": cmd_devices,
+    "estimate": cmd_estimate,
+    "bandwidth": cmd_bandwidth,
+    "wearout": cmd_wearout,
+    "phone": cmd_phone,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

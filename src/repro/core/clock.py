@@ -1,0 +1,40 @@
+"""Virtual simulation clock.
+
+The paper's experiments take days of wall-clock time; the simulator
+advances a virtual clock by the modelled duration of each I/O batch
+instead.  The clock is deliberately simple — a monotonically increasing
+float of seconds — because everything in the system is synchronous.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import HOUR
+
+
+class SimClock:
+    """Monotonic virtual clock in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigurationError("clock cannot start before zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def hours(self) -> float:
+        return self._now / HOUR
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ConfigurationError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"<SimClock t={self._now:.3f}s>"

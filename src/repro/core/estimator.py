@@ -1,0 +1,78 @@
+"""Back-of-the-envelope flash lifetime estimation (§2.3).
+
+"Flash drive lifetime can be roughly estimated using back-of-the-
+envelope calculations: take the expected number of writes for the
+advertised LBA space over a 3 year period, divide by the expected P/E
+cycles per cell, and that will give you the number of physical cells to
+over-provision."  And conversely: "it is fair to assume that the SSD
+can endure at least as many rewrites as its underlying storage media,
+i.e., 3K rewrites of the drive's entire data."
+
+The paper's point is that mobile devices fall short of this estimate by
+a large factor; :mod:`repro.analysis.calibration` compares this
+estimator against simulated wear-out volume (benchmark E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import DAY, GIB
+
+
+@dataclass(frozen=True)
+class BackOfEnvelopeEstimate:
+    """Naive lifetime estimate for a flash device.
+
+    Attributes:
+        capacity_bytes: Advertised capacity.
+        endurance: Assumed P/E cycles of the media.
+        total_write_bytes: capacity * endurance — the volume the naive
+            model says can be written before end of life.
+        full_rewrites: Number of complete drive rewrites (== endurance).
+        lifetime_days_at: Mapping-free helper, see method below.
+    """
+
+    capacity_bytes: int
+    endurance: int
+
+    @property
+    def total_write_bytes(self) -> int:
+        return self.capacity_bytes * self.endurance
+
+    @property
+    def full_rewrites(self) -> int:
+        return self.endurance
+
+    def lifetime_days(self, daily_write_bytes: float) -> float:
+        """Days until end of life under a given daily write volume."""
+        if daily_write_bytes <= 0:
+            raise ConfigurationError("daily write volume must be positive")
+        return self.total_write_bytes / daily_write_bytes
+
+    def lifetime_days_at_throughput(self, mib_per_second: float, duty_cycle: float = 1.0) -> float:
+        """Days to wear out at a sustained write throughput.
+
+        Args:
+            mib_per_second: Sustained write rate.
+            duty_cycle: Fraction of each day spent writing.
+        """
+        if not 0 < duty_cycle <= 1:
+            raise ConfigurationError("duty_cycle must be in (0, 1]")
+        per_day = mib_per_second * 1024 * 1024 * DAY * duty_cycle
+        return self.lifetime_days(per_day)
+
+    def describe(self) -> str:
+        return (
+            f"{self.capacity_bytes / GIB:.1f} GiB x {self.endurance} P/E cycles = "
+            f"{self.total_write_bytes / GIB:.0f} GiB of writes "
+            f"({self.full_rewrites} full rewrites)"
+        )
+
+
+def estimate_lifetime(capacity_bytes: int, endurance: int = 3000) -> BackOfEnvelopeEstimate:
+    """The §2.3 calculation with the paper's 3K-cycle consumer default."""
+    if capacity_bytes <= 0 or endurance <= 0:
+        raise ConfigurationError("capacity and endurance must be positive")
+    return BackOfEnvelopeEstimate(capacity_bytes=capacity_bytes, endurance=endurance)

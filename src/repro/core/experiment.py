@@ -1,0 +1,156 @@
+"""Wear-out experiment runner.
+
+Drives a workload against a device until its wear indicator reaches a
+target level (or the device dies), recording one
+:class:`~repro.core.results.IncrementRecord` per indicator increment —
+the measurement loop behind §4.3 and §4.4.
+
+The workload is anything with a ``step() -> (duration_seconds,
+app_bytes)`` method plus ``description`` and ``space_utilization``
+attributes (see :mod:`repro.workloads.wearout`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.clock import SimClock
+from repro.core.results import IncrementRecord, WearOutResult
+from repro.devices.interface import BlockDevice
+from repro.errors import DeviceWornOut, OutOfSpaceError, ReadOnlyError, UncorrectableError
+
+
+class WearOutExperiment:
+    """Run a workload until the device's wear indicator hits a target.
+
+    Args:
+        device: Device under test (possibly capacity-scaled; reported
+            volumes are rescaled by ``device.scale``).
+        workload: Object with ``step()``, ``description``, and
+            ``space_utilization``.
+        filesystem: Optional filesystem between workload and device
+            (used for app-level volume accounting).
+        clock: Virtual clock; a fresh one is created if omitted.
+    """
+
+    def __init__(self, device: BlockDevice, workload, filesystem=None, clock: Optional[SimClock] = None):
+        self.device = device
+        self.workload = workload
+        self.filesystem = filesystem
+        self.clock = clock or SimClock()
+        self.result = WearOutResult(
+            device_name=device.name,
+            filesystem=getattr(filesystem, "name", None),
+        )
+        self._last_levels: Dict[str, int] = {}
+        self._phase_start: Dict[str, _PhaseMarker] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, until_level: int = 11, max_steps: int = 1_000_000) -> WearOutResult:
+        """Run until any memory type reaches ``until_level`` or the
+        device fails; returns the accumulated result.
+
+        On hybrid devices the faster-moving indicator (Type B under the
+        paper's workloads) terminates the run; use
+        :meth:`run_one_increment` to follow a specific memory type, as
+        Table 1's phase protocol does.
+        """
+        self._prime_markers()
+        for _ in range(max_steps):
+            try:
+                duration, app_bytes = self.workload.step()
+            except (DeviceWornOut, ReadOnlyError, OutOfSpaceError, UncorrectableError):
+                self.result.bricked = True
+                break
+            self.clock.advance(duration)
+            # Durations, like volumes, are per-scaled-capacity and are
+            # reported at full-device equivalents (DESIGN.md §6).
+            self.result.total_seconds += duration * self.device.scale
+            self.result.total_app_bytes += app_bytes * self.device.scale
+            self._record_increments()
+            if self._any_at_level(until_level):
+                break
+        self.result.total_host_bytes = self.device.host_bytes_written * self.device.scale
+        return self.result
+
+    def run_one_increment(self, memory_type: str = "A", max_steps: int = 1_000_000) -> Optional[IncrementRecord]:
+        """Run until a specific memory type's indicator increments once.
+
+        Returns the new record, or None if the device failed first.
+        Used by Table 1's phase-by-phase protocol, where the I/O pattern
+        changes between increments.
+        """
+        self._prime_markers()
+        before = len(self.result.increments_for(memory_type))
+        for _ in range(max_steps):
+            try:
+                duration, app_bytes = self.workload.step()
+            except (DeviceWornOut, ReadOnlyError, OutOfSpaceError, UncorrectableError):
+                self.result.bricked = True
+                return None
+            self.clock.advance(duration)
+            self.result.total_seconds += duration * self.device.scale
+            self.result.total_app_bytes += app_bytes * self.device.scale
+            self._record_increments()
+            records = self.result.increments_for(memory_type)
+            if len(records) > before:
+                return records[-1]
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _prime_markers(self) -> None:
+        for mem_type, indicator in self.device.wear_indicators().items():
+            if mem_type not in self._last_levels:
+                self._last_levels[mem_type] = indicator.level
+                self._phase_start[mem_type] = self._marker()
+
+    def _marker(self) -> "_PhaseMarker":
+        app_bytes = (
+            self.filesystem.app_bytes_written
+            if self.filesystem is not None
+            else self.device.host_bytes_written
+        )
+        return _PhaseMarker(
+            host_bytes=self.device.host_bytes_written,
+            app_bytes=app_bytes,
+            seconds=self.clock.now,
+        )
+
+    def _record_increments(self) -> None:
+        for mem_type, indicator in self.device.wear_indicators().items():
+            old = self._last_levels[mem_type]
+            if indicator.level <= old:
+                continue
+            start = self._phase_start[mem_type]
+            now = self._marker()
+            scale = self.device.scale
+            self.result.increments.append(
+                IncrementRecord(
+                    memory_type=mem_type,
+                    from_level=old,
+                    to_level=indicator.level,
+                    host_bytes=(now.host_bytes - start.host_bytes) * scale,
+                    app_bytes=(now.app_bytes - start.app_bytes) * scale,
+                    seconds=(now.seconds - start.seconds) * scale,
+                    io_pattern=getattr(self.workload, "description", ""),
+                    space_utilization=getattr(self.workload, "space_utilization", 0.0),
+                )
+            )
+            self._last_levels[mem_type] = indicator.level
+            self._phase_start[mem_type] = now
+
+    def _any_at_level(self, level: int) -> bool:
+        return any(ind.level >= level for ind in self.device.wear_indicators().values())
+
+
+class _PhaseMarker:
+    """Byte/time counters at the start of an increment phase."""
+
+    __slots__ = ("host_bytes", "app_bytes", "seconds")
+
+    def __init__(self, host_bytes: int, app_bytes: int, seconds: float):
+        self.host_bytes = host_bytes
+        self.app_bytes = app_bytes
+        self.seconds = seconds

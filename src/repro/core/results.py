@@ -1,0 +1,97 @@
+"""Result records for wear-out experiments.
+
+Each wear-indicator increment becomes one :class:`IncrementRecord` — the
+row format of Figure 2, Table 1, and Figures 3–4: which memory type
+moved, how much I/O it took, and how long.  Volumes are reported at
+full-device scale (the device's capacity-scale factor is multiplied
+back in, DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.units import GIB, HOUR
+
+
+@dataclass(frozen=True)
+class IncrementRecord:
+    """One wear-indicator increment.
+
+    Attributes:
+        memory_type: "A" or "B" (single-pool devices report "A").
+        from_level: Indicator level before the increment.
+        to_level: Indicator level after.
+        host_bytes: Device-level write volume during the increment,
+            rescaled to full device size.
+        app_bytes: Application-level write volume (differs from
+            host_bytes when a filesystem multiplies I/O), rescaled.
+        seconds: Simulated wall-clock time for the increment.
+        io_pattern: Description of the workload phase (Table 1 column).
+        space_utilization: Static-data fraction during the phase.
+    """
+
+    memory_type: str
+    from_level: int
+    to_level: int
+    host_bytes: float
+    app_bytes: float
+    seconds: float
+    io_pattern: str = ""
+    space_utilization: float = 0.0
+
+    @property
+    def host_gib(self) -> float:
+        return self.host_bytes / GIB
+
+    @property
+    def app_gib(self) -> float:
+        return self.app_bytes / GIB
+
+    @property
+    def hours(self) -> float:
+        return self.seconds / HOUR
+
+    @property
+    def label(self) -> str:
+        """The paper's "n-m" increment label, e.g. "1-2"."""
+        return f"{self.from_level}-{self.to_level}"
+
+
+@dataclass
+class WearOutResult:
+    """Full outcome of one wear-out experiment."""
+
+    device_name: str
+    filesystem: Optional[str]
+    increments: List[IncrementRecord] = field(default_factory=list)
+    bricked: bool = False
+    total_seconds: float = 0.0
+    total_app_bytes: float = 0.0
+    total_host_bytes: float = 0.0
+
+    def increments_for(self, memory_type: str) -> List[IncrementRecord]:
+        return [rec for rec in self.increments if rec.memory_type == memory_type]
+
+    @property
+    def final_level(self) -> int:
+        if not self.increments:
+            return 1
+        return max(rec.to_level for rec in self.increments)
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_seconds / HOUR
+
+    @property
+    def total_days(self) -> float:
+        return self.total_seconds / (24 * HOUR)
+
+    def summary(self) -> str:
+        state = "BRICKED" if self.bricked else f"level {self.final_level}"
+        fs = f" ({self.filesystem})" if self.filesystem else ""
+        return (
+            f"{self.device_name}{fs}: {state} after {self.total_app_bytes / GIB:.0f} GiB "
+            f"app writes in {self.total_hours:.1f} h"
+        )

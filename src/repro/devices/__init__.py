@@ -1,0 +1,28 @@
+"""Mobile storage device models.
+
+Wraps an FTL and a performance model into the block devices the paper
+measures: eMMC chips, a UFS phone device, and a microSD card.  The
+catalog module carries calibrated parameters for the seven devices of
+§4.1 (two external eMMC chips, a microSD card, and four smartphones'
+internal storage).
+"""
+
+from repro.devices.perf import PerformanceModel
+from repro.devices.health import HealthReport
+from repro.devices.interface import BlockDevice
+from repro.devices.emmc import EmmcDevice
+from repro.devices.ufs import UfsDevice
+from repro.devices.usd import MicroSdDevice
+from repro.devices.catalog import DEVICE_SPECS, DeviceSpec, build_device
+
+__all__ = [
+    "PerformanceModel",
+    "HealthReport",
+    "BlockDevice",
+    "EmmcDevice",
+    "UfsDevice",
+    "MicroSdDevice",
+    "DEVICE_SPECS",
+    "DeviceSpec",
+    "build_device",
+]

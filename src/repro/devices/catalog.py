@@ -1,0 +1,302 @@
+"""Calibrated catalog of the paper's evaluated devices (§4.1).
+
+Vendors "generally do not publicly detail the specifications,
+performance characteristics, lifetime guarantees, and warranties" of
+mobile storage (§3), so these parameters are calibrated against the
+paper's own measurements — the Figure 1 bandwidth curves, Figure 2's
+~992 GiB/increment on the 8GB eMMC, Table 1's Type A/B volumes on the
+hybrid 16GB part, and Figures 3–4's per-increment times.  DESIGN.md §5
+lists every calibration target.
+
+Devices can be built capacity-scaled (DESIGN.md §6): ``scale=K``
+divides raw and logical capacity by K while preserving endurance,
+over-provisioning ratio, and mapping granularity, so per-increment
+I/O volumes rescale linearly and every ratio in the paper's figures is
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+from repro.devices.emmc import EmmcDevice
+from repro.devices.interface import BlockDevice
+from repro.devices.perf import PerformanceModel
+from repro.devices.ufs import UfsDevice
+from repro.devices.usd import MicroSdDevice
+from repro.errors import ConfigurationError
+from repro.flash.cell import CELL_SPECS, CellType
+from repro.flash.geometry import FlashGeometry
+from repro.flash.package import FlashPackage
+from repro.ftl.ftl import PageMappedFTL
+from repro.ftl.hybrid import HybridFTL
+from repro.rng import SeedLike
+from repro.units import GB, GIB, KIB, MIB
+
+
+@dataclass(frozen=True)
+class HybridSpec:
+    """Type A pool parameters for hybrid (two-indicator) devices."""
+
+    raw_bytes: int
+    hot_window_bytes: int
+    staging_bytes: int
+    cell_type: CellType = CellType.SLC
+    endurance: int = 20_000
+    merge_utilization: float = 0.80
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Buildable description of one catalog device.
+
+    Attributes:
+        name: Catalog key, matching the paper's device labels.
+        device_cls: Concrete :class:`BlockDevice` subclass.
+        advertised_bytes: Host-visible (logical) capacity.
+        raw_bytes: Total flash media including over-provisioning.
+        cell_type: Main pool cell encoding.
+        endurance: Main pool P/E endurance (vendor-derated).
+        mapping_unit_pages: FTL mapping granularity in 4 KiB pages.
+        perf: Bandwidth curve.
+        pages_per_block: Erase-block size in pages at full scale.
+        parallel_units: Internal parallelism (documentation only; the
+            perf curve already reflects it).
+        hybrid: Type A pool parameters, or None for single-pool devices.
+        indicator_supported: False on budget devices (BLU phones).
+        default_fs: Filesystem the paper used on this device.
+    """
+
+    name: str
+    device_cls: Type[BlockDevice]
+    advertised_bytes: int
+    raw_bytes: int
+    cell_type: CellType
+    endurance: int
+    mapping_unit_pages: int
+    perf: PerformanceModel
+    pages_per_block: int = 512
+    parallel_units: int = 2
+    hybrid: Optional[HybridSpec] = None
+    indicator_supported: bool = True
+    default_fs: str = "ext4"
+
+    def build(self, scale: int = 1, seed: SeedLike = None, **ftl_kwargs) -> BlockDevice:
+        """Instantiate the device, optionally capacity-scaled by ``scale``.
+
+        The effective scale is clamped so the scaled media keeps at
+        least 64 MiB — below that, erase blocks would have to shrink so
+        far that garbage-collection overhead stops resembling the full
+        device, and the FTL's fixed block reserve would dominate thin
+        over-provisioning.
+        """
+        if scale < 1:
+            raise ConfigurationError("scale must be >= 1")
+        scale = max(1, min(scale, self.raw_bytes // (64 * MIB)))
+        logical = self.advertised_bytes // scale
+        main_raw = self.raw_bytes // scale
+        if self.hybrid is not None:
+            main_raw -= self.hybrid.raw_bytes // scale
+
+        page = 4 * KIB
+        main_geom = _scaled_geometry(main_raw, page, self.pages_per_block, self.mapping_unit_pages, self.parallel_units)
+        main_pkg = FlashPackage(
+            main_geom, cell_spec=CELL_SPECS[self.cell_type].derated(self.endurance), seed=seed
+        )
+        ftl_kwargs = dict(_small_device_ftl_defaults(main_geom), **ftl_kwargs)
+        if self.hybrid is None:
+            ftl = PageMappedFTL(
+                main_pkg,
+                logical_capacity_bytes=logical,
+                mapping_unit_pages=self.mapping_unit_pages,
+                seed=seed,
+                **ftl_kwargs,
+            )
+        else:
+            hy = self.hybrid
+            a_geom = _scaled_geometry(
+                hy.raw_bytes // scale, page, min(self.pages_per_block, 128),
+                self.mapping_unit_pages, 1, min_blocks=16,
+            )
+            a_pkg = FlashPackage(
+                a_geom, cell_spec=CELL_SPECS[hy.cell_type].derated(hy.endurance), seed=seed
+            )
+            ftl = HybridFTL(
+                a_pkg,
+                main_pkg,
+                logical_capacity_bytes=logical,
+                hot_window_bytes=hy.hot_window_bytes // scale,
+                staging_bytes=hy.staging_bytes // scale,
+                merge_utilization=hy.merge_utilization,
+                mapping_unit_pages=self.mapping_unit_pages,
+                seed=seed,
+                **ftl_kwargs,
+            )
+        return self.device_cls(
+            name=self.name,
+            ftl=ftl,
+            perf=self.perf,
+            indicator_supported=self.indicator_supported,
+            scale=scale,
+        )
+
+
+def _scaled_geometry(
+    raw_bytes: int,
+    page: int,
+    pages_per_block: int,
+    unit_pages: int,
+    parallel_units: int,
+    min_blocks: int = 64,
+) -> FlashGeometry:
+    """Pick a geometry for ``raw_bytes`` of media, shrinking blocks when
+    the device is scaled so far down that too few would remain.
+
+    Blocks are kept as large as the ``min_blocks`` floor allows: GC cost
+    per byte scales with block count, so many tiny blocks would make the
+    scaled device unrepresentative (and slow to simulate).
+    """
+    floor = max(16, unit_pages)
+    ppb = pages_per_block
+    while ppb > floor and raw_bytes // (page * ppb) < min_blocks:
+        ppb //= 2
+    if ppb % unit_pages:
+        raise ConfigurationError("pages_per_block must stay a multiple of the mapping unit")
+    num_blocks = max(16, raw_bytes // (page * ppb))
+    return FlashGeometry(
+        page_size=page,
+        pages_per_block=ppb,
+        num_blocks=int(num_blocks),
+        num_parallel_units=parallel_units,
+    )
+
+
+def _small_device_ftl_defaults(geometry: FlashGeometry) -> dict:
+    """Shrink the FTL's fixed block overhead on small scaled instances,
+    where the standard reserve would eat most of the over-provisioning."""
+    if geometry.num_blocks > 128:
+        return {}
+    return {"reserve_blocks": 1, "gc_low_water": 1, "gc_high_water": 3}
+
+
+DEVICE_SPECS: Dict[str, DeviceSpec] = {
+    # Kingston SDC4/16GB — conventional Class 4 microSD (§4.1).  The
+    # bargain controller maps 64 KiB units, so 4 KiB random writes pay a
+    # 16x read-modify-write: Figure 1b's collapse.
+    "usd-16gb": DeviceSpec(
+        name="uSD 16GB",
+        device_cls=MicroSdDevice,
+        advertised_bytes=16 * GB,
+        raw_bytes=16 * GIB,
+        cell_type=CellType.MLC,
+        endurance=3_000,
+        mapping_unit_pages=16,
+        perf=PerformanceModel(peak_write_mib_s=18.0, write_half_size=8 * KIB),
+        parallel_units=1,
+    ),
+    # Toshiba THGBMBG6D1KBAIL 8GB eMMC.  Calibrated to Figure 2:
+    # <=992 GiB per wear increment, ~20 MiB/s during the 4 KiB random
+    # rewrite workload, ~140 h to end of life.
+    "emmc-8gb": DeviceSpec(
+        name="eMMC 8GB",
+        device_cls=EmmcDevice,
+        advertised_bytes=8 * GB,
+        raw_bytes=8 * GIB,
+        cell_type=CellType.MLC,
+        endurance=2_450,
+        mapping_unit_pages=2,
+        perf=PerformanceModel(peak_write_mib_s=48.0, write_half_size=1 * KIB),
+        parallel_units=2,
+    ),
+    # SanDisk iNAND 7030 16GB — hybrid part with two wear indicators.
+    # Calibrated to Table 1: Type B ~2.2 TiB/level; Type A ~11.9 TiB for
+    # its first level under normal routing (~4% metadata share) and
+    # ~440 GiB/level once the pools merge under high utilization.
+    "emmc-16gb": DeviceSpec(
+        name="eMMC 16GB",
+        device_cls=EmmcDevice,
+        advertised_bytes=16 * GB,
+        raw_bytes=16 * GIB,
+        cell_type=CellType.MLC,
+        endurance=3_000,
+        mapping_unit_pages=2,
+        perf=PerformanceModel(peak_write_mib_s=60.0, write_half_size=2 * KIB),
+        parallel_units=4,
+        hybrid=HybridSpec(
+            raw_bytes=320 * MIB,
+            hot_window_bytes=128 * MIB,
+            staging_bytes=96 * MIB,
+            endurance=29_000,
+        ),
+    ),
+    # Moto E 2nd Gen internal eMMC (stock F2FS; we model both FSes).
+    "moto-e-8gb": DeviceSpec(
+        name="Moto E 8GB",
+        device_cls=EmmcDevice,
+        advertised_bytes=8 * GB,
+        raw_bytes=8 * GIB,
+        cell_type=CellType.MLC,
+        endurance=2_000,
+        mapping_unit_pages=2,
+        perf=PerformanceModel(peak_write_mib_s=40.0, write_half_size=1 * KIB),
+        parallel_units=2,
+        default_fs="f2fs",
+    ),
+    # Samsung Galaxy S6 32GB — UFS with a capable page-mapped controller
+    # over dense (lower-endurance) media.
+    "samsung-s6-32gb": DeviceSpec(
+        name="Samsung S6 32GB",
+        device_cls=UfsDevice,
+        advertised_bytes=32 * GB,
+        raw_bytes=32 * GIB,
+        cell_type=CellType.TLC,
+        endurance=1_500,
+        mapping_unit_pages=1,
+        perf=PerformanceModel(peak_write_mib_s=150.0, write_half_size=4 * KIB),
+        parallel_units=8,
+    ),
+    # BLU Dash D171a — budget phone; "the eMMC chip did not provide
+    # reliable wear-out indications", but it bricked within two weeks.
+    "blu-512mb": DeviceSpec(
+        name="BLU 512MB",
+        device_cls=EmmcDevice,
+        advertised_bytes=480 * MIB,
+        raw_bytes=512 * MIB,
+        cell_type=CellType.TLC,
+        endurance=1_000,
+        mapping_unit_pages=8,
+        perf=PerformanceModel(peak_write_mib_s=3.0, write_half_size=2 * KIB),
+        pages_per_block=128,
+        parallel_units=1,
+        indicator_supported=False,
+    ),
+    # BLU Advance 4.0L — slightly larger budget phone, same story.
+    "blu-4gb": DeviceSpec(
+        name="BLU 4GB",
+        device_cls=EmmcDevice,
+        advertised_bytes=4 * GB,
+        raw_bytes=4 * GIB,
+        cell_type=CellType.TLC,
+        endurance=1_200,
+        mapping_unit_pages=8,
+        perf=PerformanceModel(peak_write_mib_s=14.0, write_half_size=2 * KIB),
+        parallel_units=1,
+        indicator_supported=False,
+    ),
+}
+
+
+def build_device(key: str, scale: int = 1, seed: SeedLike = None, **ftl_kwargs) -> BlockDevice:
+    """Build a catalog device by key (e.g. ``"emmc-8gb"``).
+
+    Raises :class:`ConfigurationError` for unknown keys; ``sorted(DEVICE_SPECS)``
+    lists the valid ones.
+    """
+    try:
+        spec = DEVICE_SPECS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device {key!r}; available: {', '.join(sorted(DEVICE_SPECS))}"
+        ) from None
+    return spec.build(scale=scale, seed=seed, **ftl_kwargs)

@@ -1,0 +1,54 @@
+"""Device health reports.
+
+Mirrors the JEDEC eMMC 5.1 health report the paper queries via EXT_CSD:
+per-memory-type life-time estimates plus PRE_EOL_INFO, with a
+``supported`` flag because the paper's budget BLU phones "did not
+provide reliable wear-out indications".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.ftl.wear_indicator import PreEolState, WearIndicator
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Snapshot of a device's self-reported health.
+
+    Attributes:
+        device_name: Catalog name of the device.
+        indicators: Life-time estimates keyed by memory type ("A"/"B"
+            for hybrid devices, "A" alone otherwise).
+        pre_eol: Worst PRE_EOL_INFO across memory types.
+        supported: False on devices without reliable health reporting.
+        host_bytes_written: Total host write volume so far.
+        write_amplification: Cumulative media-programs / host-pages.
+        read_only: True once the device has worn out.
+    """
+
+    device_name: str
+    indicators: Dict[str, WearIndicator]
+    pre_eol: PreEolState
+    supported: bool
+    host_bytes_written: int
+    write_amplification: float
+    read_only: bool
+
+    @property
+    def worst_level(self) -> int:
+        """Highest (worst) wear level across memory types."""
+        return max(ind.level for ind in self.indicators.values())
+
+    @property
+    def exceeded(self) -> bool:
+        """True when any memory type exceeded its estimated lifetime."""
+        return any(ind.exceeded for ind in self.indicators.values())
+
+    def describe(self) -> str:
+        if not self.supported:
+            return f"{self.device_name}: health report not supported"
+        parts = ", ".join(f"type {k}: level {v.level}" for k, v in sorted(self.indicators.items()))
+        return f"{self.device_name}: {parts}, pre-EOL {self.pre_eol.name}"

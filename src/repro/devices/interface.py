@@ -1,0 +1,178 @@
+"""Block device base class.
+
+A :class:`BlockDevice` binds an FTL (plain or hybrid) to a performance
+model and exposes the host-facing operations the filesystems and
+workloads use.  All write/read calls return the simulated duration in
+seconds; the experiment engine advances its virtual clock by that much.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.devices.health import HealthReport
+from repro.devices.perf import PerformanceModel
+from repro.errors import DeviceWornOut, ReadOnlyError
+from repro.ftl.ftl import PageMappedFTL
+from repro.ftl.hybrid import HybridFTL
+from repro.ftl.wear_indicator import PreEolState
+
+AnyFtl = Union[PageMappedFTL, HybridFTL]
+
+
+class BlockDevice:
+    """A flash block device: FTL + performance model + health report.
+
+    Args:
+        name: Human-readable device name (catalog key).
+        ftl: The translation layer managing the flash media.
+        perf: Bandwidth curve.
+        indicator_supported: False for budget devices whose firmware
+            does not report reliable wear indicators (§4.4's BLU phones).
+        scale: Capacity scale factor this instance was built at; volume
+            reports from experiments multiply by it (DESIGN.md §6).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ftl: AnyFtl,
+        perf: PerformanceModel,
+        indicator_supported: bool = True,
+        scale: int = 1,
+    ):
+        self.name = name
+        self.ftl = ftl
+        self.perf = perf
+        self.indicator_supported = indicator_supported
+        self.scale = scale
+        self.host_bytes_written = 0
+        self.host_bytes_read = 0
+        self.busy_seconds = 0.0
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def logical_capacity(self) -> int:
+        return self.ftl.logical_capacity_bytes
+
+    @property
+    def page_size(self) -> int:
+        return self.ftl.geometry.page_size
+
+    @property
+    def read_only(self) -> bool:
+        return self.failed or self.ftl.read_only
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def write(self, offset: int, size: int) -> float:
+        """One synchronous write; returns the simulated duration."""
+        return self.write_many(np.array([offset], dtype=np.int64), size)
+
+    def write_many(self, offsets: np.ndarray, request_bytes: int) -> float:
+        """A batch of equal-sized synchronous writes.
+
+        The batch is an efficiency device for the simulator; semantically
+        each offset is an independent request.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0:
+            return 0.0
+        if self.read_only:
+            raise ReadOnlyError(f"{self.name} is read-only (worn out)")
+        before = self.ftl.media_pages_programmed
+        try:
+            if offsets.size > 1 and (np.diff(offsets) == request_bytes).all():
+                # Write combining: the device's buffer merges back-to-back
+                # sequential sync writes into full mapping units, which is
+                # why Figure 1a's sequential small writes escape the RMW
+                # penalty that random ones (Figure 1b) pay.
+                self.ftl.write_requests(
+                    offsets[:1], request_bytes * int(offsets.size)
+                )
+            else:
+                self.ftl.write_requests(offsets, request_bytes)
+        except DeviceWornOut:
+            self.failed = True
+            raise
+        media_pages = self.ftl.media_pages_programmed - before
+        total_bytes = int(offsets.size) * request_bytes
+        host_pages = max(1, -(-total_bytes // self.page_size))
+        duration = self.perf.write_duration(
+            total_bytes, request_bytes, media_ratio=media_pages / host_pages
+        )
+        self.host_bytes_written += total_bytes
+        self.busy_seconds += duration
+        return duration
+
+    def read(self, offset: int, size: int) -> float:
+        return self.read_many(np.array([offset], dtype=np.int64), size)
+
+    def read_many(self, offsets: np.ndarray, request_bytes: int) -> float:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0:
+            return 0.0
+        self.ftl.read_requests(offsets, request_bytes)
+        total_bytes = int(offsets.size) * request_bytes
+        duration = self.perf.read_duration(total_bytes, request_bytes)
+        self.host_bytes_read += total_bytes
+        self.busy_seconds += duration
+        return duration
+
+    def trim(self, offset: int, size: int) -> None:
+        """Discard a logical byte range (advisory, zero cost)."""
+        page = self.page_size
+        first = -(-offset // page)
+        last = (offset + size) // page
+        if last > first:
+            self.ftl.trim_pages(first, last - first)
+
+    def idle(self, seconds: float, temp_c: float = 25.0) -> None:
+        """Idle period: trapped charge heals (§2.2)."""
+        for package in self._packages():
+            package.idle(seconds, temp_c)
+
+    def _packages(self):
+        if isinstance(self.ftl, HybridFTL):
+            return [self.ftl.pool_a.package, self.ftl.pool_b.package]
+        return [self.ftl.package]
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def wear_indicators(self):
+        if isinstance(self.ftl, HybridFTL):
+            return self.ftl.wear_indicators()
+        return {"A": self.ftl.wear_indicator()}
+
+    def health_report(self) -> HealthReport:
+        indicators = self.wear_indicators()
+        worst_pre_eol = max(
+            (ind.pre_eol for ind in indicators.values()), key=lambda s: s.value
+        )
+        if isinstance(self.ftl, HybridFTL):
+            host_pages = max(1, self.ftl.host_pages_requested)
+        else:
+            host_pages = max(1, self.ftl.stats.host_pages_requested)
+        wa = self.ftl.media_pages_programmed / host_pages
+        return HealthReport(
+            device_name=self.name,
+            indicators=indicators,
+            pre_eol=worst_pre_eol,
+            supported=self.indicator_supported,
+            host_bytes_written=self.host_bytes_written,
+            write_amplification=wa,
+            read_only=self.read_only,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} capacity={self.logical_capacity}>"

@@ -1,0 +1,74 @@
+"""Request-size-dependent performance model.
+
+§4.2's conclusion: "the I/O performance of modern eMMC devices hinges
+on request size.  Larger requests utilize more internal hardware units
+in parallel and increase I/O performance until full internal
+parallelism is reached."
+
+We model the *media-side* bandwidth as a saturating hyperbola of the
+request size — ``bw(s) = peak * s / (s + half_size)`` — which captures
+both the per-command overhead at small sizes and the parallelism
+plateau at large ones.  The *host-observed* bandwidth in Figure 1
+additionally divides by the FTL's media-work ratio (read-modify-write
+on coarse mapping units, garbage collection), which the device layer
+measures per request batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Bandwidth curve of one storage device.
+
+    Attributes:
+        peak_write_mib_s: Media write bandwidth at full parallelism.
+        write_half_size: Request size (bytes) at which write bandwidth
+            reaches half of peak.
+        peak_read_mib_s: Media read bandwidth at full parallelism.
+        read_half_size: Request size at which read bandwidth is half of
+            peak.
+    """
+
+    peak_write_mib_s: float
+    write_half_size: int = 4 * KIB
+    peak_read_mib_s: float = 0.0
+    read_half_size: int = 4 * KIB
+
+    def __post_init__(self) -> None:
+        if self.peak_write_mib_s <= 0:
+            raise ConfigurationError("peak_write_mib_s must be positive")
+        if self.write_half_size <= 0 or self.read_half_size <= 0:
+            raise ConfigurationError("half sizes must be positive")
+        if self.peak_read_mib_s == 0.0:
+            # Reads on mobile flash are typically ~1.5x faster than writes.
+            object.__setattr__(self, "peak_read_mib_s", self.peak_write_mib_s * 1.5)
+
+    def write_bandwidth(self, request_bytes: int) -> float:
+        """Media write bandwidth (bytes/s) for one request size."""
+        if request_bytes <= 0:
+            raise ConfigurationError("request size must be positive")
+        peak = self.peak_write_mib_s * MIB
+        return peak * request_bytes / (request_bytes + self.write_half_size)
+
+    def read_bandwidth(self, request_bytes: int) -> float:
+        if request_bytes <= 0:
+            raise ConfigurationError("request size must be positive")
+        peak = self.peak_read_mib_s * MIB
+        return peak * request_bytes / (request_bytes + self.read_half_size)
+
+    def write_duration(self, total_bytes: int, request_bytes: int, media_ratio: float = 1.0) -> float:
+        """Seconds to complete ``total_bytes`` of ``request_bytes``-sized
+        synchronous writes whose media work is ``media_ratio`` times the
+        host payload (RMW + GC + wear leveling + migration)."""
+        if media_ratio < 0:
+            raise ConfigurationError("media_ratio must be non-negative")
+        return total_bytes * max(1.0, media_ratio) / self.write_bandwidth(request_bytes)
+
+    def read_duration(self, total_bytes: int, request_bytes: int) -> float:
+        return total_bytes / self.read_bandwidth(request_bytes)

@@ -1,0 +1,17 @@
+"""UFS device model.
+
+UFS [JEDEC UFS 2.1] is the eMMC successor used in the paper's Samsung
+S6: a full-duplex serial interface with command queueing and a more
+capable controller.  In the simulator that means true page-granularity
+mapping (no RMW penalty) and a higher-parallelism performance curve.
+The paper's point stands regardless: "our method ... is not hampered by
+various optimizations such as improved mobile storage interfaces".
+"""
+
+from __future__ import annotations
+
+from repro.devices.interface import BlockDevice
+
+
+class UfsDevice(BlockDevice):
+    """A Universal Flash Storage device."""

@@ -1,0 +1,17 @@
+"""MicroSD card model.
+
+§4.2 contrasts eMMC with microSD: the card has a bargain-basement
+controller whose coarse block mapping makes random small writes
+catastrophically slow ("increased garbage collection overhead and
+reduced parallelism").  We model that with a wide mapping unit
+(64 KiB by default in the catalog): every 4 KiB random write triggers a
+full-unit read-modify-write, reproducing the Figure 1b collapse.
+"""
+
+from __future__ import annotations
+
+from repro.devices.interface import BlockDevice
+
+
+class MicroSdDevice(BlockDevice):
+    """A removable microSD card."""

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Simulated hardware failures are modelled as exceptions so that callers —
+filesystems, the Android layer, experiment harnesses — can react the way
+real software would (remount read-only, refuse to boot, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or used with invalid parameters."""
+
+
+class OutOfSpaceError(ReproError):
+    """The logical address space or filesystem has no room left."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated storage-device failures."""
+
+
+class UncorrectableError(DeviceError):
+    """A read returned more bit errors than the ECC could repair.
+
+    Mirrors the paper's description of end-of-life flash that "may
+    introduce uncorrectable errors in stored data".
+    """
+
+    def __init__(self, ppn: int, message: str = ""):
+        self.ppn = ppn
+        super().__init__(message or f"uncorrectable ECC error at physical page {ppn}")
+
+
+class DeviceWornOut(DeviceError):
+    """The device exhausted its spare blocks and entered read-only mode."""
+
+
+class DeviceBricked(DeviceError):
+    """The device (and therefore the phone built on it) is inoperable."""
+
+
+class ReadOnlyError(DeviceError):
+    """A write was issued to a device or filesystem in read-only mode."""
+
+
+class PermissionDenied(ReproError):
+    """An app attempted an operation outside its sandbox permissions."""
+
+
+class AppKilledError(ReproError):
+    """An app was terminated by the platform (e.g. flagged by a monitor)."""

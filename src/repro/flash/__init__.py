@@ -1,0 +1,26 @@
+"""NAND flash media model.
+
+This subpackage models the physical substrate the paper's measurements
+rest on: flash geometry (§2.1), cell types and their endurance (SLC /
+MLC / TLC), the growth of the raw bit error rate with program/erase
+cycles, the ECC correction budget that turns raw bit errors into a hard
+end-of-life, and the charge-detrapping ("healing") effect from §2.2.
+"""
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.cell import CellType, CellSpec, CELL_SPECS
+from repro.flash.ber import BerModel
+from repro.flash.ecc import EccConfig
+from repro.flash.healing import HealingModel
+from repro.flash.package import FlashPackage
+
+__all__ = [
+    "FlashGeometry",
+    "CellType",
+    "CellSpec",
+    "CELL_SPECS",
+    "BerModel",
+    "EccConfig",
+    "HealingModel",
+    "FlashPackage",
+]

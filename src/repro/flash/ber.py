@@ -1,0 +1,67 @@
+"""Raw bit error rate (RBER) as a function of wear and retention.
+
+§2.1: "Small electric charges tend to accumulate in cells, which
+eventually cause logical bit errors.  The result is that, after a number
+of P/E cycles, flash blocks produce too many bit errors to be
+transparently corrected with parity checks."
+
+We use the standard empirical power-law model (cf. Boboila & Desnoyers,
+FAST'10; Cai et al., ICCD'13): RBER(c) = a + b * (c / E)^k where c is
+the block's P/E count and E its nominal endurance, plus a retention term
+that grows with time since the last program and with wear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BerModel:
+    """Raw bit-error-rate model.
+
+    Attributes:
+        baseline: RBER of a fresh block.
+        wear_coefficient: Multiplier on the normalized-wear power law.
+        wear_exponent: Exponent of normalized wear (super-linear growth,
+            typically 2–4 for MLC NAND).
+        retention_coefficient: RBER added per normalized wear unit per
+            day of retention.
+    """
+
+    baseline: float = 1e-8
+    wear_coefficient: float = 1e-4
+    wear_exponent: float = 3.0
+    retention_coefficient: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.baseline < 0 or self.wear_coefficient <= 0:
+            raise ConfigurationError("BER coefficients must be non-negative (wear term positive)")
+        if self.wear_exponent < 1.0:
+            raise ConfigurationError("wear_exponent below 1 would make wear sub-linear")
+
+    def rber(self, pe_cycles, endurance: float, retention_days: float = 0.0):
+        """Raw bit error rate for blocks at ``pe_cycles`` P/E cycles.
+
+        Accepts scalars or numpy arrays for ``pe_cycles``.
+        """
+        if endurance <= 0:
+            raise ConfigurationError("endurance must be positive")
+        wear = np.asarray(pe_cycles, dtype=np.float64) / endurance
+        rber = self.baseline + self.wear_coefficient * np.power(wear, self.wear_exponent)
+        if retention_days > 0:
+            rber = rber + self.retention_coefficient * wear * retention_days
+        if np.isscalar(pe_cycles):
+            return float(rber)
+        return rber
+
+    def cycles_at_rber(self, target_rber: float, endurance: float) -> float:
+        """Invert the (retention-free) model: P/E count where RBER hits target."""
+        if target_rber <= self.baseline:
+            return 0.0
+        wear = ((target_rber - self.baseline) / self.wear_coefficient) ** (1.0 / self.wear_exponent)
+        return wear * endurance

@@ -1,0 +1,76 @@
+"""Flash cell types and endurance specifications.
+
+§2.1: SLC parts achieved "up to 100K P/E cycles"; MLC endures "3–10K";
+TLC figures "as low as 1K" have been reported.  Denser encodings
+differentiate between smaller charge levels, so accumulated trapped
+charge causes bit errors sooner.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class CellType(enum.Enum):
+    """Bits-per-cell encoding of a flash memory region."""
+
+    SLC = 1
+    MLC = 2
+    TLC = 3
+
+    @property
+    def bits_per_cell(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Endurance and timing characteristics of one cell type.
+
+    Attributes:
+        cell_type: The encoding (SLC/MLC/TLC).
+        endurance: Nominal P/E cycles before the raw bit error rate
+            exceeds what typical ECC corrects.
+        read_us: Page read latency (microseconds).
+        program_us: Page program latency (microseconds).
+        erase_us: Block erase latency (microseconds).
+        voltage_levels: Distinguished charge levels (2**bits).
+    """
+
+    cell_type: CellType
+    endurance: int
+    read_us: float
+    program_us: float
+    erase_us: float
+
+    def __post_init__(self) -> None:
+        if self.endurance <= 0:
+            raise ConfigurationError("endurance must be positive")
+        if min(self.read_us, self.program_us, self.erase_us) <= 0:
+            raise ConfigurationError("latencies must be positive")
+
+    @property
+    def voltage_levels(self) -> int:
+        return 2 ** self.cell_type.bits_per_cell
+
+    def derated(self, endurance: int) -> "CellSpec":
+        """Copy of this spec with a vendor-specific endurance figure."""
+        return CellSpec(
+            cell_type=self.cell_type,
+            endurance=endurance,
+            read_us=self.read_us,
+            program_us=self.program_us,
+            erase_us=self.erase_us,
+        )
+
+
+#: Representative specs per cell type.  Endurance midpoints follow §2.1;
+#: latencies follow common NAND datasheet figures.
+CELL_SPECS = {
+    CellType.SLC: CellSpec(CellType.SLC, endurance=100_000, read_us=25.0, program_us=200.0, erase_us=1500.0),
+    CellType.MLC: CellSpec(CellType.MLC, endurance=3_000, read_us=50.0, program_us=600.0, erase_us=3000.0),
+    CellType.TLC: CellSpec(CellType.TLC, endurance=1_000, read_us=75.0, program_us=900.0, erase_us=4500.0),
+}

@@ -1,0 +1,105 @@
+"""ECC correction budget.
+
+§2.2 cites a "significant body of work dedicated to Error Correction
+Coding schemes, which give a measure of tolerance to bit errors as the
+device ages".  We model a BCH-like code: each codeword of ``codeword_bits``
+data bits can correct up to ``correctable_bits`` errors.  A page read is
+uncorrectable when any of its codewords has more raw errors than that.
+
+Given a raw bit error rate ``p`` the per-codeword failure probability is
+the binomial tail P[X > t], X ~ Binom(n, p); we compute it with a
+numerically stable log-space summation so scipy is optional.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Error correction configuration for a flash package.
+
+    Attributes:
+        codeword_bits: Bits protected by one codeword (data portion).
+        correctable_bits: Maximum raw bit errors correctable per codeword.
+        uber_limit: Uncorrectable-bit-error-rate threshold above which the
+            firmware considers a block unreliable (JEDEC uses 1e-15 for
+            client devices; we default looser because simulated volumes
+            are smaller).
+    """
+
+    codeword_bits: int = 8 * 1024 * 8  # 8 KiB codewords, bits
+    correctable_bits: int = 40
+    uber_limit: float = 1e-13
+
+    def __post_init__(self) -> None:
+        if self.codeword_bits <= 0 or self.correctable_bits <= 0:
+            raise ConfigurationError("codeword and correctable bits must be positive")
+        if not 0 < self.uber_limit < 1:
+            raise ConfigurationError("uber_limit must be in (0, 1)")
+
+    def codeword_failure_probability(self, rber: float) -> float:
+        """P[more than ``correctable_bits`` errors in one codeword]."""
+        if rber <= 0:
+            return 0.0
+        if rber >= 1:
+            return 1.0
+        n, t = self.codeword_bits, self.correctable_bits
+        mean = n * rber
+        # For tiny means, the Poisson tail is accurate and cheap.
+        if mean < t / 4:
+            return self._poisson_tail(mean, t)
+        return self._binomial_tail(n, rber, t)
+
+    @staticmethod
+    def _poisson_tail(mean: float, t: int) -> float:
+        """P[X > t] for X ~ Poisson(mean), summed directly from k=t+1.
+
+        Summing the upper tail avoids the catastrophic cancellation of
+        the 1 - CDF formulation when the tail is below float epsilon.
+        """
+        if mean <= 0:
+            return 0.0
+        log_term = -mean + (t + 1) * math.log(mean) - math.lgamma(t + 2)
+        term = math.exp(log_term)
+        total = 0.0
+        k = t + 1
+        while term > total * 1e-17 + 1e-320 and k < t + 1000:
+            total += term
+            k += 1
+            term *= mean / k
+        return total
+
+    @staticmethod
+    def _binomial_tail(n: int, p: float, t: int) -> float:
+        """P[X > t] for X ~ Binom(n, p) using a normal approximation.
+
+        In the regime the simulator visits (n ~ 65k, p up to ~1e-3) the
+        normal approximation with continuity correction is adequate: we
+        only need the threshold behaviour, not 12-digit tails.
+        """
+        mean = n * p
+        var = n * p * (1.0 - p)
+        if var <= 0:
+            return 0.0 if mean <= t else 1.0
+        z = (t + 0.5 - mean) / math.sqrt(var)
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    def max_tolerable_rber(self) -> float:
+        """Largest RBER at which a codeword still meets ``uber_limit``.
+
+        Solved by bisection on :meth:`codeword_failure_probability`,
+        which is monotone in RBER.
+        """
+        lo, hi = 0.0, 0.5
+        for _ in range(80):
+            mid = (lo + hi) / 2
+            if self.codeword_failure_probability(mid) > self.uber_limit:
+                hi = mid
+            else:
+                lo = mid
+        return lo

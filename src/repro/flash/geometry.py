@@ -1,0 +1,74 @@
+"""Flash package geometry.
+
+Blocks are "typically 256–2048 KB in size", pages "typically 4–16 KB"
+(§2.1).  The geometry also records how many independent hardware units
+(chips/planes) the package exposes, because §4.2 attributes bandwidth
+scaling with request size to internal parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Physical layout of a flash package.
+
+    Attributes:
+        page_size: Bytes per flash page (program granularity).
+        pages_per_block: Pages per erase block.
+        num_blocks: Total erase blocks in the package, including
+            over-provisioned ones.
+        num_parallel_units: Independent chips/planes that can service
+            transfers concurrently (drives the Figure-1 bandwidth curve).
+    """
+
+    page_size: int = 4 * KIB
+    pages_per_block: int = 64
+    num_blocks: int = 1024
+    num_parallel_units: int = 2
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size % 512:
+            raise ConfigurationError(f"page_size must be a positive multiple of 512, got {self.page_size}")
+        if self.pages_per_block <= 0:
+            raise ConfigurationError("pages_per_block must be positive")
+        if self.num_blocks <= 0:
+            raise ConfigurationError("num_blocks must be positive")
+        if self.num_parallel_units <= 0:
+            raise ConfigurationError("num_parallel_units must be positive")
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per erase block."""
+        return self.page_size * self.pages_per_block
+
+    @property
+    def total_pages(self) -> int:
+        return self.num_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw media capacity (before over-provisioning is subtracted)."""
+        return self.num_blocks * self.block_size
+
+    def scaled(self, factor: int) -> "FlashGeometry":
+        """Return a geometry with ``num_blocks`` divided by ``factor``.
+
+        Used by the benchmark harness to run capacity-scaled devices
+        (see DESIGN.md §6).  Page and block sizes are preserved so
+        per-request behaviour is unchanged.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        new_blocks = max(8, self.num_blocks // factor)
+        return FlashGeometry(
+            page_size=self.page_size,
+            pages_per_block=self.pages_per_block,
+            num_blocks=new_blocks,
+            num_parallel_units=self.num_parallel_units,
+        )

@@ -1,0 +1,71 @@
+"""Charge detrapping ("healing") model.
+
+§2.2: "Over a long period, flash can heal as trapped charge dissipates.
+Recent research has proposed to accelerate the process by applying heat
+to worn out cells."  We model healing as exponential decay of the
+*effective* wear accumulated on top of permanent wear: a fraction of
+each P/E cycle's damage is recoverable trapped charge that dissipates
+with a temperature-dependent time constant (Arrhenius acceleration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import DAY
+
+
+@dataclass(frozen=True)
+class HealingModel:
+    """Recoverable-wear decay model.
+
+    Attributes:
+        recoverable_fraction: Portion of each cycle's damage that is
+            trapped charge (recoverable), vs. permanent oxide damage.
+        time_constant_days: e-folding time of recoverable wear at the
+            reference temperature.
+        reference_temp_c: Temperature at which ``time_constant_days``
+            holds.
+        activation_factor: Per-10°C acceleration of detrapping (an
+            Arrhenius-style Q10 factor; heat-assisted healing uses
+            temperatures hundreds of degrees above reference).
+    """
+
+    recoverable_fraction: float = 0.2
+    time_constant_days: float = 180.0
+    reference_temp_c: float = 25.0
+    activation_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.recoverable_fraction < 1.0:
+            raise ConfigurationError("recoverable_fraction must be in [0, 1)")
+        if self.time_constant_days <= 0 or self.activation_factor <= 1.0:
+            raise ConfigurationError("time constant must be positive and acceleration > 1")
+
+    def acceleration(self, temp_c: float) -> float:
+        """Detrapping speed-up relative to the reference temperature."""
+        return self.activation_factor ** ((temp_c - self.reference_temp_c) / 10.0)
+
+    def decay_factor(self, elapsed_seconds: float, temp_c: float = 25.0) -> float:
+        """Fraction of recoverable wear remaining after ``elapsed_seconds``."""
+        if elapsed_seconds < 0:
+            raise ConfigurationError("elapsed time must be non-negative")
+        tau = self.time_constant_days * DAY / self.acceleration(temp_c)
+        return math.exp(-elapsed_seconds / tau)
+
+    def heal(self, recoverable_wear: np.ndarray, elapsed_seconds: float, temp_c: float = 25.0) -> np.ndarray:
+        """Return the recoverable wear array after idle healing."""
+        return recoverable_wear * self.decay_factor(elapsed_seconds, temp_c)
+
+    @property
+    def disabled(self) -> bool:
+        return self.recoverable_fraction == 0.0
+
+    @classmethod
+    def none(cls) -> "HealingModel":
+        """A model with healing turned off (permanent damage only)."""
+        return cls(recoverable_fraction=0.0)

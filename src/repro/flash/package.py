@@ -1,0 +1,202 @@
+"""Physical flash package state.
+
+Tracks per-block wear (permanent plus recoverable trapped charge), bad
+blocks, and operation counters.  All per-block state lives in numpy
+arrays so the FTL's batch paths stay fast even when a wear-out
+experiment issues millions of page programs.
+
+Wear accounting follows the P/E-cycle convention: a block's cycle count
+advances when it is erased (every program of its pages belongs to the
+cycle opened by the preceding erase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DeviceWornOut
+from repro.flash.ber import BerModel
+from repro.flash.cell import CELL_SPECS, CellSpec, CellType
+from repro.flash.ecc import EccConfig
+from repro.flash.geometry import FlashGeometry
+from repro.flash.healing import HealingModel
+from repro.rng import SeedLike, substream
+
+
+@dataclass
+class PackageCounters:
+    """Lifetime operation counters for one flash package."""
+
+    page_programs: int = 0
+    block_erases: int = 0
+    page_reads: int = 0
+
+    def bytes_programmed(self, page_size: int) -> int:
+        return self.page_programs * page_size
+
+
+class FlashPackage:
+    """One NAND package: geometry + cell spec + per-block wear state.
+
+    The package is policy-free: it does not know about logical addresses,
+    garbage collection, or wear leveling.  Those live in ``repro.ftl``.
+
+    Args:
+        geometry: Physical layout.
+        cell_spec: Cell type and endurance (defaults to MLC, the common
+            mobile eMMC media per §2.1).
+        ber_model: Raw bit-error-rate model.
+        ecc: ECC budget; determines the wear level at which blocks are
+            retired.
+        healing: Charge-detrapping model (recoverable wear decay).
+        endurance_sigma: Lognormal sigma of per-block endurance variation
+            (manufacturing spread).
+        seed: Seed for the per-block endurance draw.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        cell_spec: Optional[CellSpec] = None,
+        ber_model: Optional[BerModel] = None,
+        ecc: Optional[EccConfig] = None,
+        healing: Optional[HealingModel] = None,
+        endurance_sigma: float = 0.05,
+        seed: SeedLike = None,
+    ):
+        if endurance_sigma < 0:
+            raise ConfigurationError("endurance_sigma must be non-negative")
+        self.geometry = geometry
+        self.cell_spec = cell_spec or CELL_SPECS[CellType.MLC]
+        self.ber_model = ber_model or BerModel()
+        self.ecc = ecc or EccConfig()
+        self.healing = healing or HealingModel.none()
+        self.counters = PackageCounters()
+
+        n = geometry.num_blocks
+        self._pe_permanent = np.zeros(n, dtype=np.float64)
+        self._pe_recoverable = np.zeros(n, dtype=np.float64)
+        self._bad = np.zeros(n, dtype=bool)
+
+        # The firmware retires a block once its RBER would exceed the ECC
+        # budget; manufacturing spread makes that limit vary block to block.
+        rber_limit = self.ecc.max_tolerable_rber()
+        nominal_limit = self.ber_model.cycles_at_rber(rber_limit, self.cell_spec.endurance)
+        rng = substream(seed, "package-endurance")
+        if endurance_sigma > 0:
+            variation = rng.lognormal(mean=0.0, sigma=endurance_sigma, size=n)
+        else:
+            variation = np.ones(n)
+        self._cycle_limit = nominal_limit * variation
+        self._last_heal_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Wear state
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.geometry.num_blocks
+
+    @property
+    def pe_counts(self) -> np.ndarray:
+        """Effective P/E cycles per block (permanent + recoverable). Copy-free view is not given; treat as read-only."""
+        return self._pe_permanent + self._pe_recoverable
+
+    @property
+    def permanent_pe_counts(self) -> np.ndarray:
+        return self._pe_permanent.copy()
+
+    @property
+    def bad_blocks(self) -> np.ndarray:
+        """Boolean mask of retired blocks."""
+        return self._bad.copy()
+
+    @property
+    def num_bad_blocks(self) -> int:
+        return int(self._bad.sum())
+
+    def cycle_limits(self) -> np.ndarray:
+        """Per-block P/E limit at which the firmware retires the block."""
+        return self._cycle_limit.copy()
+
+    def mean_wear_fraction(self) -> float:
+        """Mean effective P/E over nominal endurance — the firmware's
+        life-time estimate input."""
+        return float(self.pe_counts.mean() / self.cell_spec.endurance)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def erase_blocks(self, block_ids: np.ndarray) -> np.ndarray:
+        """Erase blocks, advancing their P/E cycle counts.
+
+        Returns the boolean mask (aligned with ``block_ids``) of blocks
+        that crossed their cycle limit during this erase and were
+        retired.  Raises if any target block is already bad.
+        """
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        if block_ids.min() < 0 or block_ids.max() >= self.num_blocks:
+            raise ConfigurationError("block id out of range")
+        if self._bad[block_ids].any():
+            raise DeviceWornOut("erase issued to a retired block")
+        frac = self.healing.recoverable_fraction
+        self._pe_permanent[block_ids] += 1.0 - frac
+        self._pe_recoverable[block_ids] += frac
+        self.counters.block_erases += int(block_ids.size)
+
+        effective = self._pe_permanent[block_ids] + self._pe_recoverable[block_ids]
+        newly_bad = effective >= self._cycle_limit[block_ids]
+        if newly_bad.any():
+            self._bad[block_ids[newly_bad]] = True
+        return newly_bad
+
+    def record_page_programs(self, count: int) -> None:
+        """Account ``count`` page programs (wear itself is charged at erase)."""
+        if count < 0:
+            raise ConfigurationError("program count must be non-negative")
+        self.counters.page_programs += count
+
+    def record_page_reads(self, count: int) -> None:
+        if count < 0:
+            raise ConfigurationError("read count must be non-negative")
+        self.counters.page_reads += count
+
+    def idle(self, elapsed_seconds: float, temp_c: float = 25.0) -> None:
+        """Let trapped charge dissipate over an idle period (§2.2)."""
+        if self.healing.disabled:
+            return
+        self._pe_recoverable = self.healing.heal(self._pe_recoverable, elapsed_seconds, temp_c)
+
+    def anneal(self, temp_c: float, duration_seconds: float) -> None:
+        """Heat-accelerated healing of worn-out cells (§2.2).
+
+        Clears recoverable wear quickly and may resurrect retired blocks
+        whose effective wear drops back under the cycle limit.
+        """
+        if self.healing.disabled:
+            return
+        self._pe_recoverable = self.healing.heal(self._pe_recoverable, duration_seconds, temp_c)
+        effective = self._pe_permanent + self._pe_recoverable
+        healed = self._bad & (effective < self._cycle_limit)
+        self._bad[healed] = False
+
+    # ------------------------------------------------------------------
+    # Reliability queries
+    # ------------------------------------------------------------------
+
+    def rber(self, block_ids=None, retention_days: float = 0.0):
+        """Raw bit error rate for given blocks (or all blocks)."""
+        pe = self.pe_counts if block_ids is None else self.pe_counts[np.asarray(block_ids)]
+        return self.ber_model.rber(pe, self.cell_spec.endurance, retention_days)
+
+    def uncorrectable_probability(self, block_id: int, retention_days: float = 0.0) -> float:
+        """Per-codeword uncorrectable probability for a block's pages."""
+        rber = float(self.rber(np.array([block_id]), retention_days)[0])
+        return self.ecc.codeword_failure_probability(rber)

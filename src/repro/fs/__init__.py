@@ -1,0 +1,25 @@
+"""Filesystem models.
+
+The paper's experiments run over Ext4 (Linux hosts, most phones) and
+F2FS (the stock Moto E).  Figure 4's result — F2FS needs about half the
+application I/O volume to wear the device out, because its mapping
+mechanism doubles the I/O reaching storage under 4 KiB synchronous
+writes — is a filesystem effect, so the filesystems are modelled
+explicitly on top of the block devices.
+"""
+
+from repro.fs.interface import File, FileSystem
+from repro.fs.ext4 import Ext4Model
+from repro.fs.f2fs import F2fsModel
+
+__all__ = ["File", "FileSystem", "Ext4Model", "F2fsModel"]
+
+
+def make_filesystem(kind: str, device, **kwargs) -> FileSystem:
+    """Build a filesystem model by name ("ext4" or "f2fs")."""
+    kinds = {"ext4": Ext4Model, "f2fs": F2fsModel}
+    try:
+        cls = kinds[kind.lower()]
+    except KeyError:
+        raise ValueError(f"unknown filesystem {kind!r}; available: {sorted(kinds)}") from None
+    return cls(device, **kwargs)

@@ -1,0 +1,29 @@
+"""Flash translation layer.
+
+The FTL turns logical block addresses into physical flash pages and is
+where the paper's wear dynamics live: mapping granularity (cheap mobile
+controllers map coarse units, so small random writes pay
+read-modify-write), garbage collection, wear leveling, and the JEDEC
+eMMC 5.1 device-life-time estimation indicators the paper reads.
+
+Two FTLs are provided: :class:`PageMappedFTL` (single memory pool) and
+:class:`HybridFTL` ("Type A" SLC front pool + "Type B" MLC main pool,
+reproducing Table 1's two wear indicators and the pool-merge behaviour
+under high utilization).
+"""
+
+from repro.ftl.stats import FtlStats
+from repro.ftl.wear_indicator import WearIndicator, PreEolState, wear_level
+from repro.ftl.ftl import PageMappedFTL
+from repro.ftl.hybrid import HybridFTL
+from repro.ftl.logblock import LogBlockFTL
+
+__all__ = [
+    "FtlStats",
+    "WearIndicator",
+    "PreEolState",
+    "wear_level",
+    "PageMappedFTL",
+    "HybridFTL",
+    "LogBlockFTL",
+]

@@ -1,0 +1,253 @@
+"""Log-block (hybrid block-mapped) FTL — the cheap-controller baseline.
+
+§4.2 contrasts eMMC with microSD cards, whose bargain controllers are
+widely believed to use *block-mapped* translation with a handful of log
+blocks (the classic BAST/FAST designs): data blocks are mapped at erase-
+block granularity, a small pool of log blocks absorbs overwrites, and
+when the pool runs out the controller performs *merges*:
+
+* **switch merge** — a log block that received exactly one logical
+  block's pages, in order, simply replaces the data block (free);
+* **full merge** — otherwise, every logical block with pages in the
+  victim log block is rebuilt into a fresh block by copying the latest
+  version of each page (expensive: the source of the microSD's random-
+  write collapse and its high wear per host byte).
+
+The main simulator models this cost with coarse mapping units
+(``PageMappedFTL(mapping_unit_pages=...)``); this class is the explicit
+baseline that the ablation benchmark compares against to justify the
+abstraction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DeviceWornOut, OutOfSpaceError, ReadOnlyError
+from repro.flash.package import FlashPackage
+from repro.ftl.stats import FtlStats
+from repro.ftl.wear_indicator import PreEolState, WearIndicator, wear_level
+
+
+class LogBlockFTL:
+    """FAST-style hybrid FTL: block-mapped data + shared log-block pool.
+
+    Args:
+        package: The physical media.
+        logical_capacity_bytes: Host-visible capacity (rounded down to
+            whole erase blocks).
+        num_log_blocks: Size of the overwrite log pool; tiny on real
+            cards (2-8).
+        reserve_blocks: Spare blocks kept for bad-block replacement.
+    """
+
+    def __init__(
+        self,
+        package: FlashPackage,
+        logical_capacity_bytes: int,
+        num_log_blocks: int = 4,
+        reserve_blocks: int = 2,
+    ):
+        geom = package.geometry
+        self.package = package
+        self.geometry = geom
+        self.pages_per_block = geom.pages_per_block
+        self.num_data_blocks = logical_capacity_bytes // geom.block_size
+        if self.num_data_blocks < 1:
+            raise ConfigurationError("logical capacity below one erase block")
+        overhead = num_log_blocks + reserve_blocks + 1  # +1 merge scratch
+        if self.num_data_blocks + overhead > geom.num_blocks:
+            raise ConfigurationError(
+                f"need {self.num_data_blocks + overhead} blocks, package has {geom.num_blocks}"
+            )
+        if num_log_blocks < 1:
+            raise ConfigurationError("need at least one log block")
+
+        self.logical_capacity_bytes = self.num_data_blocks * geom.block_size
+        self.num_log_blocks = num_log_blocks
+        self._reserve_blocks = reserve_blocks
+        self._initial_spares = geom.num_blocks - self.num_data_blocks - overhead + reserve_blocks
+
+        self.stats = FtlStats()
+        self.read_only = False
+
+        # Logical block -> physical block (-1 = never written).
+        self._data_map = np.full(self.num_data_blocks, -1, dtype=np.int64)
+        # Logical page -> (log_block_id, page_slot) for pages whose
+        # latest version lives in a log block.
+        self._log_loc: Dict[int, tuple] = {}
+        # Per active log block: list of logical page numbers, in write
+        # order (slot i holds the i-th entry).
+        self._log_contents: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._active_log: Optional[int] = None
+        self._free_blocks: List[int] = list(range(geom.num_blocks))
+
+    # ------------------------------------------------------------------
+    # Public API (mirrors PageMappedFTL's surface used by devices)
+    # ------------------------------------------------------------------
+
+    @property
+    def unit_pages(self) -> int:
+        return 1
+
+    @property
+    def unit_bytes(self) -> int:
+        return self.geometry.page_size
+
+    @property
+    def media_pages_programmed(self) -> int:
+        return self.stats.total_pages_programmed
+
+    def write_requests(self, offsets_bytes: np.ndarray, request_bytes: int, as_migration: bool = False) -> None:
+        """Service a batch of equal-sized synchronous writes."""
+        offsets = np.asarray(offsets_bytes, dtype=np.int64)
+        if offsets.size == 0:
+            return
+        if self.read_only:
+            raise ReadOnlyError("log-block FTL is read-only (worn out)")
+        page = self.geometry.page_size
+        if offsets.min() < 0 or int(offsets.max()) + request_bytes > self.logical_capacity_bytes:
+            raise ConfigurationError("write beyond logical capacity")
+        first = offsets // page
+        last = (offsets + request_bytes - 1) // page
+        for start, end in zip(first, last):
+            for lpn in range(int(start), int(end) + 1):
+                self._write_page(lpn)
+
+    def read_requests(self, offsets_bytes: np.ndarray, request_bytes: int) -> None:
+        offsets = np.asarray(offsets_bytes, dtype=np.int64)
+        if offsets.size == 0:
+            return
+        page = self.geometry.page_size
+        pages = int(((offsets + request_bytes - 1) // page - offsets // page + 1).sum())
+        self.stats.pages_read += pages
+        self.package.record_page_reads(pages)
+
+    def trim_pages(self, start_page: int, num_pages: int) -> None:
+        """Advisory only: block-mapped cards generally ignore discard."""
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def life_used(self) -> float:
+        return self.package.mean_wear_fraction()
+
+    def utilization(self) -> float:
+        return float((self._data_map >= 0).mean())
+
+    def spare_consumption(self) -> float:
+        if self._initial_spares <= 0:
+            return 1.0
+        return min(1.0, self.package.num_bad_blocks / self._initial_spares)
+
+    def wear_indicator(self) -> WearIndicator:
+        used = self.life_used()
+        return WearIndicator(
+            level=wear_level(used),
+            life_used=used,
+            pre_eol=PreEolState.from_spare_consumption(self.spare_consumption()),
+        )
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _write_page(self, lpn: int) -> None:
+        self.stats.host_pages_requested += 1
+        self.stats.host_pages_programmed += 1
+        self.package.record_page_programs(1)
+
+        if self._active_log is None or len(self._log_contents[self._active_log]) >= self.pages_per_block:
+            self._open_log_block()
+        log = self._active_log
+        slot = len(self._log_contents[log])
+        self._log_contents[log].append(lpn)
+        self._log_loc[lpn] = (log, slot)
+
+    def _open_log_block(self) -> None:
+        if len(self._log_contents) >= self.num_log_blocks:
+            self._merge_oldest_log()
+        block = self._alloc_block()
+        self._log_contents[block] = []
+        self._active_log = block
+
+    def _alloc_block(self) -> int:
+        if not self._free_blocks:
+            raise OutOfSpaceError("log-block FTL out of free blocks")
+        return self._free_blocks.pop()
+
+    # ------------------------------------------------------------------
+    # Merges
+    # ------------------------------------------------------------------
+
+    def _merge_oldest_log(self) -> None:
+        victim, contents = self._log_contents.popitem(last=False)
+        if self._active_log == victim:
+            self._active_log = None
+
+        if self._is_switch_candidate(victim, contents):
+            # Switch merge: the log block becomes the data block.
+            lbn = contents[0] // self.pages_per_block
+            old = int(self._data_map[lbn])
+            self._data_map[lbn] = victim
+            self._drop_log_entries(victim, contents)
+            if old >= 0:
+                self._erase(old)
+            self.stats.gc_runs += 1
+            return
+
+        # Full merge: rebuild every logical block present in the victim.
+        lbns = sorted({lpn // self.pages_per_block for lpn in contents})
+        for lbn in lbns:
+            self._rebuild_block(lbn)
+        self._drop_log_entries(victim, contents)
+        self._erase(victim)
+        self.stats.gc_runs += 1
+
+    def _is_switch_candidate(self, victim: int, contents: List[int]) -> bool:
+        if len(contents) != self.pages_per_block:
+            return False
+        lbn = contents[0] // self.pages_per_block
+        expected = [lbn * self.pages_per_block + i for i in range(self.pages_per_block)]
+        return contents == expected
+
+    def _rebuild_block(self, lbn: int) -> None:
+        """Copy the latest version of each of a logical block's pages
+        into a fresh physical block (the expensive full-merge step)."""
+        target = self._alloc_block()
+        copies = self.pages_per_block
+        self.stats.gc_pages_copied += copies
+        self.stats.pages_read += copies
+        self.package.record_page_programs(copies)
+        self.package.record_page_reads(copies)
+
+        base = lbn * self.pages_per_block
+        for lpn in range(base, base + self.pages_per_block):
+            loc = self._log_loc.get(lpn)
+            if loc is not None and loc[0] not in self._log_contents:
+                # Latest version was in the (merged) victim; now in data.
+                del self._log_loc[lpn]
+
+        old = int(self._data_map[lbn])
+        self._data_map[lbn] = target
+        if old >= 0:
+            self._erase(old)
+
+    def _drop_log_entries(self, victim: int, contents: List[int]) -> None:
+        for lpn in set(contents):
+            loc = self._log_loc.get(lpn)
+            if loc is not None and loc[0] == victim:
+                del self._log_loc[lpn]
+
+    def _erase(self, block: int) -> None:
+        went_bad = bool(self.package.erase_blocks(np.array([block]))[0])
+        self.stats.blocks_erased += 1
+        if not went_bad:
+            self._free_blocks.append(block)
+        elif self.package.num_bad_blocks > self._initial_spares:
+            self.read_only = True
+            raise DeviceWornOut("log-block FTL spare blocks exhausted")

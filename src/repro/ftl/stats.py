@@ -1,0 +1,64 @@
+"""FTL statistics and write-amplification accounting.
+
+Write amplification (§4.3 "Advanced Factors Affecting Wear-out") is the
+ratio of media page programs to host page writes.  We track host,
+garbage-collection, wear-leveling, and read-modify-write contributions
+separately so ablation benchmarks can attribute wear to each source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FtlStats:
+    """Cumulative counters for one FTL instance.
+
+    All counts are in *flash pages* (not mapping units) so that write
+    amplification is directly comparable across mapping granularities.
+    """
+
+    host_pages_requested: int = 0
+    host_pages_programmed: int = 0
+    rmw_pages_programmed: int = 0
+    gc_pages_copied: int = 0
+    wl_pages_copied: int = 0
+    migration_pages: int = 0
+    pages_read: int = 0
+    blocks_erased: int = 0
+    gc_runs: int = 0
+    wl_runs: int = 0
+
+    @property
+    def total_pages_programmed(self) -> int:
+        return (
+            self.host_pages_programmed
+            + self.rmw_pages_programmed
+            + self.gc_pages_copied
+            + self.wl_pages_copied
+            + self.migration_pages
+        )
+
+    @property
+    def write_amplification(self) -> float:
+        """Media programs per host page requested (1.0 = ideal)."""
+        if self.host_pages_requested == 0:
+            return 1.0
+        return self.total_pages_programmed / self.host_pages_requested
+
+    def snapshot(self) -> "FtlStats":
+        """Copy of the current counters (for windowed deltas)."""
+        return FtlStats(**vars(self))
+
+    def delta(self, earlier: "FtlStats") -> "FtlStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return FtlStats(
+            **{name: getattr(self, name) - getattr(earlier, name) for name in vars(self)}
+        )
+
+    def merged_with(self, other: "FtlStats") -> "FtlStats":
+        """Element-wise sum (used by the hybrid FTL to combine pools)."""
+        return FtlStats(
+            **{name: getattr(self, name) + getattr(other, name) for name in vars(self)}
+        )

@@ -1,0 +1,83 @@
+"""JEDEC eMMC 5.1 style device-life-time estimation.
+
+§4.3: "This indicator partitions the estimated lifespan of the chip (as
+monitored by the firmware) into 11 levels starting from 1 to 11.  When
+the indicator has value n, it means (n-1)*10% ~ n*10% of this chip's
+lifetime was consumed.  Indicator value of 11 means the chip has
+exceeded its maximum estimated lifetime [...] and should be considered
+unreliable."
+
+The JEDEC spec additionally defines a PRE_EOL_INFO field driven by
+reserved-block consumption; we model both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+MAX_LEVEL = 11
+
+
+def wear_level(life_used_fraction: float) -> int:
+    """Map fraction of estimated lifetime consumed to the 1–11 level.
+
+    >>> wear_level(0.0)
+    1
+    >>> wear_level(0.15)
+    2
+    >>> wear_level(1.5)
+    11
+    """
+    if life_used_fraction < 0:
+        raise ValueError("life_used_fraction must be non-negative")
+    if life_used_fraction >= 1.0:
+        return MAX_LEVEL
+    return int(life_used_fraction * 10) + 1
+
+
+class PreEolState(enum.Enum):
+    """JEDEC PRE_EOL_INFO: consumption of reserved (spare) blocks."""
+
+    NORMAL = 1
+    WARNING = 2  # 80% of reserved blocks consumed
+    URGENT = 3  # 90% of reserved blocks consumed
+
+    @classmethod
+    def from_spare_consumption(cls, consumed_fraction: float) -> "PreEolState":
+        if consumed_fraction >= 0.9:
+            return cls.URGENT
+        if consumed_fraction >= 0.8:
+            return cls.WARNING
+        return cls.NORMAL
+
+
+@dataclass(frozen=True)
+class WearIndicator:
+    """One memory type's health report entry.
+
+    Attributes:
+        level: 1–11 life-time estimation level.
+        life_used: Raw fraction of lifetime consumed (firmware estimate).
+        pre_eol: Reserved-block consumption state.
+        supported: Budget devices (the paper's BLU phones) do not report
+            reliable indicators; their reports carry ``supported=False``.
+    """
+
+    level: int
+    life_used: float
+    pre_eol: PreEolState
+    supported: bool = True
+
+    @property
+    def exceeded(self) -> bool:
+        """True when the chip exceeded its estimated lifetime (level 11)."""
+        return self.level >= MAX_LEVEL
+
+    def describe(self) -> str:
+        if not self.supported:
+            return "wear indicator not supported"
+        lo, hi = (self.level - 1) * 10, self.level * 10
+        if self.exceeded:
+            return f"level {self.level}: exceeded estimated lifetime ({self.life_used:.0%} consumed)"
+        return f"level {self.level}: {lo}%-{hi}% of lifetime consumed"

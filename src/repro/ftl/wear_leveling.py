@@ -1,0 +1,78 @@
+"""Wear-leveling policies (§2.2).
+
+Dynamic wear leveling chooses the least-worn free block whenever a new
+block is opened.  Static wear leveling periodically relocates cold data
+out of under-worn blocks so their low-wear cycles become available to
+hot data.  Both can be disabled for the ablation benchmarks, which
+demonstrate how uneven wear accelerates early block death.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WearLevelingConfig:
+    """Knobs for the wear-leveling machinery.
+
+    Attributes:
+        dynamic: Allocate the least-worn free block first.
+        static_enabled: Periodically migrate cold blocks.
+        static_check_interval: Erase operations between static checks.
+        static_delta_threshold: Trigger static WL when (max - min)
+            effective P/E across good blocks exceeds this many cycles.
+    """
+
+    dynamic: bool = True
+    static_enabled: bool = True
+    static_check_interval: int = 64
+    static_delta_threshold: int = 128
+
+    @classmethod
+    def disabled(cls) -> "WearLevelingConfig":
+        return cls(dynamic=False, static_enabled=False)
+
+
+def pick_free_block(free_blocks: Sequence[int], pe_counts: np.ndarray, dynamic: bool) -> int:
+    """Choose which free block to open next.
+
+    With dynamic wear leveling the least-worn free block wins; without
+    it, allocation is FIFO (first in the free list).
+    """
+    if not free_blocks:
+        raise ValueError("no free blocks to pick from")
+    if not dynamic:
+        return free_blocks[0]
+    ids = np.fromiter(free_blocks, dtype=np.int64, count=len(free_blocks))
+    return int(ids[np.argmin(pe_counts[ids])])
+
+
+def pick_cold_victim(
+    candidate_mask: np.ndarray,
+    pe_counts: np.ndarray,
+    valid_counts: np.ndarray,
+) -> Optional[int]:
+    """Pick the coldest (least-worn) closed block holding valid data.
+
+    Returns None when no candidate qualifies.
+    """
+    eligible = candidate_mask & (valid_counts > 0)
+    if not eligible.any():
+        return None
+    pe = np.where(eligible, pe_counts, np.inf)
+    victim = int(np.argmin(pe))
+    if not eligible[victim]:
+        return None
+    return victim
+
+
+def wear_gap_exceeds(pe_counts: np.ndarray, good_mask: np.ndarray, threshold: int) -> bool:
+    """True when the wear spread across good blocks crosses threshold."""
+    if not good_mask.any():
+        return False
+    good = pe_counts[good_mask]
+    return float(good.max() - good.min()) > threshold

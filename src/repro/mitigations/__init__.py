@@ -1,0 +1,32 @@
+"""Mitigations from the paper's §4.5 discussion.
+
+Four practical countermeasures, in the order the paper discusses them:
+
+1. Expose the wear indicator to users (:mod:`repro.mitigations.smart`,
+   "similarly to the S.M.A.R.T. system on disks").
+2. Per-app I/O accounting ("much like the cellular data usage")
+   (:mod:`repro.mitigations.accounting`).
+3. Global rate limiting to guarantee a lifespan target — at the cost of
+   benign bursty apps (:mod:`repro.mitigations.ratelimit`).
+4. A pattern classifier that selectively throttles only harmful apps
+   (:mod:`repro.mitigations.classifier`,
+   :mod:`repro.mitigations.budget`).
+"""
+
+from repro.mitigations.smart import WearAlert, WearMonitor
+from repro.mitigations.accounting import AppIoRecord, IoAccountant
+from repro.mitigations.ratelimit import LifespanRateLimiter, TokenBucket
+from repro.mitigations.classifier import AppIoFeatures, IoPatternClassifier
+from repro.mitigations.budget import LifetimeBudgetPolicy
+
+__all__ = [
+    "WearAlert",
+    "WearMonitor",
+    "AppIoRecord",
+    "IoAccountant",
+    "LifespanRateLimiter",
+    "TokenBucket",
+    "AppIoFeatures",
+    "IoPatternClassifier",
+    "LifetimeBudgetPolicy",
+]

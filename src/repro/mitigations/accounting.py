@@ -1,0 +1,80 @@
+"""Per-app I/O accounting (§4.5, second mitigation).
+
+"To help recognize potential malicious applications, the system can
+collect app-specific I/O statistics, much like the cellular data usage.
+Users can then locate applications which are issuing an unexpected
+amount of I/O."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, HOUR
+
+
+@dataclass
+class AppIoRecord:
+    """Accumulated I/O statistics for one app."""
+
+    app_name: str
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_requests: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+
+    @property
+    def mean_request_bytes(self) -> float:
+        if self.write_requests == 0:
+            return 0.0
+        return self.bytes_written / self.write_requests
+
+    def write_rate_bytes_per_hour(self) -> float:
+        span = max(self.last_seen - self.first_seen, HOUR)
+        return self.bytes_written / (span / HOUR)
+
+
+class IoAccountant:
+    """System-wide per-app I/O bookkeeping."""
+
+    def __init__(self):
+        self._records: Dict[str, AppIoRecord] = {}
+
+    def record_write(self, app_name: str, num_bytes: int, num_requests: int, t_seconds: float) -> None:
+        if num_bytes < 0 or num_requests < 0:
+            raise ConfigurationError("volumes must be non-negative")
+        rec = self._records.get(app_name)
+        if rec is None:
+            rec = AppIoRecord(app_name=app_name, first_seen=t_seconds)
+            self._records[app_name] = rec
+        rec.bytes_written += num_bytes
+        rec.write_requests += num_requests
+        rec.last_seen = t_seconds
+
+    def record_read(self, app_name: str, num_bytes: int, t_seconds: float) -> None:
+        rec = self._records.setdefault(
+            app_name, AppIoRecord(app_name=app_name, first_seen=t_seconds)
+        )
+        rec.bytes_read += num_bytes
+        rec.last_seen = t_seconds
+
+    def record_of(self, app_name: str) -> AppIoRecord:
+        return self._records[app_name]
+
+    def top_writers(self, count: int = 5) -> List[AppIoRecord]:
+        """The "data usage" screen, sorted by write volume."""
+        ranked = sorted(self._records.values(), key=lambda r: r.bytes_written, reverse=True)
+        return ranked[:count]
+
+    def total_bytes_written(self) -> int:
+        return sum(r.bytes_written for r in self._records.values())
+
+    def usage_table(self) -> List[Tuple[str, float, float]]:
+        """(app, GiB written, GiB/hour) rows for display."""
+        return [
+            (r.app_name, r.bytes_written / GIB, r.write_rate_bytes_per_hour() / GIB)
+            for r in self.top_writers(count=len(self._records))
+        ]

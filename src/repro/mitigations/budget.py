@@ -1,0 +1,98 @@
+"""Selective lifetime budgeting (§4.5 + §6's research question).
+
+"How do we design systems for managing permanently-consumable
+resources?"  This policy treats device endurance as a first-class
+budget: every app gets a fair share of the daily wear allowance;
+apps the classifier deems harmful are throttled to their share, while
+benign apps may borrow freely from the unused pool — so a file
+transfer's burst is untouched even though a flat-out attacker is
+clamped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.devices.interface import BlockDevice
+from repro.errors import ConfigurationError
+from repro.mitigations.classifier import AppIoFeatures, IoPatternClassifier
+from repro.mitigations.ratelimit import LifespanBudget, TokenBucket
+from repro.units import DAY
+
+
+@dataclass
+class AppBudgetState:
+    """Per-app shaping state."""
+
+    bucket: Optional[TokenBucket] = None
+    classified_malicious: bool = False
+    bytes_admitted: int = 0
+    bytes_delayed: int = 0
+    delay_seconds: float = 0.0
+
+
+class LifetimeBudgetPolicy:
+    """Classifier-gated per-app wear budgeting.
+
+    Args:
+        device: The protected device.
+        endurance: Media P/E budget.
+        target_days: Required device lifetime.
+        classifier: Pattern classifier deciding who gets clamped.
+        expected_apps: Number of apps sharing the budget (sets the
+            per-app fair share).
+        assumed_wa: Write amplification safety factor.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        endurance: int,
+        target_days: float = 3 * 365,
+        classifier: Optional[IoPatternClassifier] = None,
+        expected_apps: int = 20,
+        assumed_wa: float = 2.5,
+    ):
+        if expected_apps < 1:
+            raise ConfigurationError("expected_apps must be >= 1")
+        total = device.logical_capacity * device.scale * endurance / assumed_wa
+        self.budget = LifespanBudget(total_write_bytes=total, target_days=target_days)
+        self.classifier = classifier or IoPatternClassifier()
+        self.per_app_rate = self.budget.bytes_per_second / expected_apps
+        self._apps: Dict[str, AppBudgetState] = {}
+
+    def state_of(self, app_name: str) -> AppBudgetState:
+        return self._apps.setdefault(app_name, AppBudgetState())
+
+    def reclassify(self, app_name: str, features: AppIoFeatures) -> bool:
+        """Re-run the classifier on fresh features; returns the verdict."""
+        state = self.state_of(app_name)
+        malicious = self.classifier.is_malicious(features)
+        if malicious and state.bucket is None:
+            state.bucket = TokenBucket(
+                rate_bytes_per_s=self.per_app_rate,
+                burst_bytes=max(self.per_app_rate * 60, 1.0),
+            )
+        if not malicious:
+            state.bucket = None
+        state.classified_malicious = malicious
+        return malicious
+
+    def admit(self, app_name: str, num_bytes: int, t_seconds: float) -> float:
+        """Shape one write; benign apps pass untouched (delay 0)."""
+        state = self.state_of(app_name)
+        state.bytes_admitted += num_bytes
+        if state.bucket is None:
+            return 0.0
+        delay = state.bucket.admit(num_bytes, t_seconds)
+        if delay > 0:
+            state.bytes_delayed += num_bytes
+            state.delay_seconds += delay
+        return delay
+
+    def projected_lifetime_days(self, observed_bytes_per_day: float) -> float:
+        """Device lifetime if the observed aggregate rate continues."""
+        if observed_bytes_per_day <= 0:
+            return float("inf")
+        return self.budget.total_write_bytes / observed_bytes_per_day

@@ -1,0 +1,120 @@
+"""Lifespan-targeted rate limiting (§4.5, third mitigation).
+
+"The system may also try to limit application I/O to a rate that
+ensures an acceptable device lifespan.  However, this may harm benign
+applications that rely on bursts of I/O requests (e.g., file transfer),
+and negatively affect user experience."
+
+:class:`TokenBucket` is the classic shaper: a sustained rate plus a
+burst allowance.  :class:`LifespanRateLimiter` derives the sustained
+rate from the device's endurance budget and a target lifetime, so the
+device provably survives the target even under a write-flood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.interface import BlockDevice
+from repro.errors import ConfigurationError
+from repro.units import DAY
+
+
+class TokenBucket:
+    """Byte-granularity token bucket.
+
+    Args:
+        rate_bytes_per_s: Sustained refill rate.
+        burst_bytes: Bucket capacity (burst allowance).
+    """
+
+    def __init__(self, rate_bytes_per_s: float, burst_bytes: float):
+        if rate_bytes_per_s <= 0 or burst_bytes <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self.rate = rate_bytes_per_s
+        self.burst = burst_bytes
+        self._tokens = burst_bytes
+        self._last_t = 0.0
+
+    def _refill(self, t_seconds: float) -> None:
+        if t_seconds < self._last_t:
+            raise ConfigurationError("time went backwards")
+        self._tokens = min(self.burst, self._tokens + (t_seconds - self._last_t) * self.rate)
+        self._last_t = t_seconds
+
+    def admit(self, num_bytes: int, t_seconds: float) -> float:
+        """Admit a write of ``num_bytes`` at ``t_seconds``.
+
+        Returns the delay (seconds) the write must wait; 0.0 when the
+        bucket has tokens.  Tokens are consumed either way (the write
+        will happen after the delay).
+        """
+        if num_bytes < 0:
+            raise ConfigurationError("bytes must be non-negative")
+        self._refill(t_seconds)
+        self._tokens -= num_bytes
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate
+
+    def available(self, t_seconds: float) -> float:
+        self._refill(t_seconds)
+        return max(0.0, self._tokens)
+
+
+@dataclass(frozen=True)
+class LifespanBudget:
+    """The write budget implied by a lifetime target."""
+
+    total_write_bytes: float
+    target_days: float
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.total_write_bytes / (self.target_days * DAY)
+
+    @property
+    def bytes_per_day(self) -> float:
+        return self.total_write_bytes / self.target_days
+
+
+class LifespanRateLimiter:
+    """Global write shaper guaranteeing a device lifetime target.
+
+    The sustained rate is (capacity × endurance / WA) spread over the
+    target lifetime; the burst allowance keeps interactive bursts fast.
+
+    Args:
+        device: The protected device.
+        endurance: Media P/E budget to assume.
+        target_days: Lifetime the device must reach (default 3 years,
+            the warranty horizon of §2.3).
+        assumed_wa: Write-amplification safety factor.
+        burst_bytes: Token bucket burst size.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        endurance: int,
+        target_days: float = 3 * 365,
+        assumed_wa: float = 2.5,
+        burst_bytes: float = 0.0,
+    ):
+        if endurance <= 0 or target_days <= 0 or assumed_wa < 1.0:
+            raise ConfigurationError("invalid lifespan parameters")
+        total = device.logical_capacity * device.scale * endurance / assumed_wa
+        self.budget = LifespanBudget(total_write_bytes=total, target_days=target_days)
+        if burst_bytes <= 0:
+            burst_bytes = max(self.budget.bytes_per_second * 300, 1.0)
+        self.bucket = TokenBucket(self.budget.bytes_per_second, burst_bytes)
+        self.throttled_bytes = 0
+        self.total_delay_seconds = 0.0
+
+    def admit(self, num_bytes: int, t_seconds: float) -> float:
+        """Shape one write; returns the imposed delay in seconds."""
+        delay = self.bucket.admit(num_bytes, t_seconds)
+        if delay > 0:
+            self.throttled_bytes += num_bytes
+            self.total_delay_seconds += delay
+        return delay

@@ -1,0 +1,86 @@
+"""Wear-indicator exposure (§4.5, first mitigation).
+
+"The system may choose to expose and monitor the wear-out indicator to
+applications and users, similarly to the S.M.A.R.T. system on disks.
+Although this solution would not help pinpoint the application which is
+harming the device, it can at least provide an indication to users that
+the device's lifespan may be in jeopardy."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.devices.interface import BlockDevice
+from repro.errors import ConfigurationError
+from repro.ftl.wear_indicator import PreEolState
+
+
+@dataclass(frozen=True)
+class WearAlert:
+    """One user-facing alert raised by the wear monitor."""
+
+    t_seconds: float
+    memory_type: str
+    level: int
+    severity: str  # "notice" | "warning" | "critical"
+    message: str
+
+
+class WearMonitor:
+    """Polls a device's health report and raises alerts on level changes.
+
+    Args:
+        device: Device to watch.
+        warning_level: Indicator level that raises a "warning".
+        critical_level: Indicator level that raises a "critical" alert.
+    """
+
+    def __init__(self, device: BlockDevice, warning_level: int = 8, critical_level: int = 10):
+        if not 1 < warning_level < critical_level <= 11:
+            raise ConfigurationError("need 1 < warning < critical <= 11")
+        self.device = device
+        self.warning_level = warning_level
+        self.critical_level = critical_level
+        self.alerts: List[WearAlert] = []
+        self._last_levels = {
+            mem: ind.level for mem, ind in device.wear_indicators().items()
+        }
+
+    def poll(self, t_seconds: float = 0.0) -> List[WearAlert]:
+        """Check the health report; returns alerts newly raised."""
+        if not self.device.indicator_supported:
+            return []
+        new_alerts = []
+        report = self.device.health_report()
+        for mem, ind in report.indicators.items():
+            old = self._last_levels.get(mem, 1)
+            if ind.level <= old:
+                continue
+            self._last_levels[mem] = ind.level
+            severity = self._severity(ind.level, report.pre_eol)
+            alert = WearAlert(
+                t_seconds=t_seconds,
+                memory_type=mem,
+                level=ind.level,
+                severity=severity,
+                message=f"storage wear (type {mem}) reached {ind.describe()}",
+            )
+            self.alerts.append(alert)
+            new_alerts.append(alert)
+        return new_alerts
+
+    def _severity(self, level: int, pre_eol: PreEolState) -> str:
+        if level >= self.critical_level or pre_eol is PreEolState.URGENT:
+            return "critical"
+        if level >= self.warning_level or pre_eol is PreEolState.WARNING:
+            return "warning"
+        return "notice"
+
+    def estimated_remaining_fraction(self) -> Optional[float]:
+        """Remaining lifetime estimate for the most-worn memory type."""
+        if not self.device.indicator_supported:
+            return None
+        worst = max(ind.life_used for ind in self.device.wear_indicators().values())
+        return max(0.0, 1.0 - worst)

@@ -1,0 +1,49 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component takes either a seed or a ``numpy`` Generator,
+so experiments are reproducible run to run.  Components that need
+independent streams derive them with :func:`substream` rather than
+sharing one generator, which keeps results stable when one component
+changes how many samples it draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+DEFAULT_SEED = 0x5EED
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def substream(seed: SeedLike, label: str) -> np.random.Generator:
+    """Derive an independent generator for a named component.
+
+    The label is hashed into the seed material so that, e.g., the GC
+    victim picker and the workload address stream never share state.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive a child stream; consumes state from the parent once.
+        child_seed = int(seed.integers(0, 2**63 - 1))
+    else:
+        child_seed = DEFAULT_SEED if seed is None else int(seed)
+    material = (child_seed, abs(hash(label)) % (2**32))
+    return np.random.default_rng(material)
+
+
+def optional_seed(seed: SeedLike) -> Optional[int]:
+    """Best-effort conversion of a seed-like value to an int for logging."""
+    if isinstance(seed, np.random.Generator):
+        return None
+    return DEFAULT_SEED if seed is None else int(seed)

@@ -1,0 +1,82 @@
+"""Byte-size and time units used throughout the simulator.
+
+The paper reports I/O volumes in GiB/TiB, request sizes from 0.5 KiB to
+16 MiB, and wall-clock times in hours.  Keeping the conversions in one
+module avoids a proliferation of magic numbers.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Capacities of flash devices are marketed in decimal gigabytes.
+GB = 1000 ** 3
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+_SUFFIXES = {
+    "b": 1,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": TIB,
+    "kb": 1000,
+    "mb": 1000 ** 2,
+    "gb": 1000 ** 3,
+    "tb": 1000 ** 4,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size such as ``"4KiB"`` or ``"100MB"``.
+
+    >>> parse_size("4KiB")
+    4096
+    >>> parse_size("0.5 KiB")
+    512
+    """
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            return int(float(number) * _SUFFIXES[suffix])
+    return int(float(cleaned))
+
+
+def format_size(num_bytes: float, precision: int = 2) -> str:
+    """Render a byte count with a binary suffix.
+
+    >>> format_size(4096)
+    '4.00 KiB'
+    """
+    magnitude = float(num_bytes)
+    for suffix, unit in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(magnitude) >= unit:
+            return f"{magnitude / unit:.{precision}f} {suffix}"
+    return f"{magnitude:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper does (hours dominate).
+
+    >>> format_duration(3600)
+    '1.00 h'
+    """
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.2f} h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.2f} min"
+    return f"{seconds:.2f} s"
+
+
+def mib_per_s(num_bytes: float, seconds: float) -> float:
+    """Throughput in MiB/s for ``num_bytes`` transferred in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError("duration must be positive")
+    return num_bytes / MIB / seconds

@@ -1,0 +1,25 @@
+"""Workload generators.
+
+The I/O patterns of the paper's evaluation: the Figure 1 bandwidth
+micro-benchmark, the §4.3/§4.4 file-rewrite wear-out workloads (4 KiB
+random / 128 KiB sequential, with space-utilization control), and
+synthetic benign-app traces for the mitigation study.
+"""
+
+from repro.workloads.patterns import RandomPattern, SequentialPattern
+from repro.workloads.microbench import BandwidthPoint, measure_bandwidth, sweep_block_sizes
+from repro.workloads.wearout import FileRewriteWorkload, fill_static_space
+from repro.workloads.traces import AppTrace, BENIGN_TRACES, spotify_bug_trace
+
+__all__ = [
+    "RandomPattern",
+    "SequentialPattern",
+    "BandwidthPoint",
+    "measure_bandwidth",
+    "sweep_block_sizes",
+    "FileRewriteWorkload",
+    "fill_static_space",
+    "AppTrace",
+    "BENIGN_TRACES",
+    "spotify_bug_trace",
+]

@@ -1,0 +1,105 @@
+"""Figure 1 micro-benchmark: write bandwidth vs. request size.
+
+"Figure 1 shows the write performance micro-benchmark results for write
+I/O patterns (sequential/random) with different synchronous request
+sizes" (§4.2).  Like fio on a test file, the benchmark confines itself
+to a bounded region of a fresh device so it measures the bandwidth
+curve rather than garbage-collection pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.devices.interface import BlockDevice
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike
+from repro.units import KIB, MIB
+from repro.workloads.patterns import RandomPattern, SequentialPattern
+
+#: The x-axis of Figure 1.
+FIGURE1_BLOCK_SIZES = [
+    512,
+    4 * KIB,
+    32 * KIB,
+    256 * KIB,
+    2 * MIB,
+    16 * MIB,
+]
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One measured point of the Figure 1 curves."""
+
+    device_name: str
+    pattern: str
+    request_bytes: int
+    mib_per_s: float
+
+
+def measure_bandwidth(
+    device: BlockDevice,
+    request_bytes: int,
+    pattern: str = "seq",
+    volume_bytes: int = 0,
+    region_fraction: float = 0.25,
+    seed: SeedLike = None,
+) -> BandwidthPoint:
+    """Measure host-observed write bandwidth for one request size.
+
+    Args:
+        device: Device under test (should be fresh for Figure 1 shapes).
+        request_bytes: Synchronous request size.
+        pattern: "seq" or "rand".
+        volume_bytes: Total volume to write (default: 32 requests or
+            4 MiB, whichever is larger — deterministic model, so small
+            volumes suffice).
+        region_fraction: Fraction of the device the benchmark file spans.
+    """
+    region = int(device.logical_capacity * region_fraction)
+    region = max(region, request_bytes)
+    if request_bytes > device.logical_capacity:
+        raise ConfigurationError("request larger than device")
+    if volume_bytes <= 0:
+        volume_bytes = max(32 * request_bytes, 4 * MIB)
+    count = max(1, volume_bytes // request_bytes)
+
+    if pattern == "seq":
+        gen = SequentialPattern(region, request_bytes)
+    elif pattern == "rand":
+        gen = RandomPattern(region, request_bytes, seed=seed)
+    else:
+        raise ConfigurationError(f"unknown pattern {pattern!r}")
+
+    offsets = gen.next_batch(count)
+    duration = device.write_many(offsets, request_bytes)
+    total = count * request_bytes
+    return BandwidthPoint(
+        device_name=device.name,
+        pattern=pattern,
+        request_bytes=request_bytes,
+        mib_per_s=total / MIB / duration,
+    )
+
+
+def sweep_block_sizes(
+    device_factory,
+    pattern: str,
+    sizes: Sequence[int] = tuple(FIGURE1_BLOCK_SIZES),
+    seed: SeedLike = None,
+) -> List[BandwidthPoint]:
+    """Sweep request sizes on fresh devices (one per point, like the
+    paper resetting state between runs).
+
+    Args:
+        device_factory: Zero-argument callable building a fresh device.
+        pattern: "seq" or "rand".
+        sizes: Request sizes to sweep.
+    """
+    points = []
+    for size in sizes:
+        device = device_factory()
+        points.append(measure_bandwidth(device, size, pattern=pattern, seed=seed))
+    return points

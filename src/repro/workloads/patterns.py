@@ -1,0 +1,50 @@
+"""Address pattern generators.
+
+Emit batches of request offsets within a region, either uniformly
+random (the paper's "4 KiB rand") or sequentially wrapping (the
+"128 KiB seq" phases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+class RandomPattern:
+    """Uniformly random aligned offsets within ``region_bytes``."""
+
+    name = "rand"
+
+    def __init__(self, region_bytes: int, request_bytes: int, seed: SeedLike = None):
+        if request_bytes <= 0 or region_bytes < request_bytes:
+            raise ConfigurationError("region must hold at least one request")
+        self.region_bytes = region_bytes
+        self.request_bytes = request_bytes
+        self._slots = region_bytes // request_bytes
+        self._rng = make_rng(seed)
+
+    def next_batch(self, count: int) -> np.ndarray:
+        """Return ``count`` independent request offsets."""
+        return self._rng.integers(0, self._slots, size=count, dtype=np.int64) * self.request_bytes
+
+
+class SequentialPattern:
+    """Sequential aligned offsets, wrapping around the region."""
+
+    name = "seq"
+
+    def __init__(self, region_bytes: int, request_bytes: int, start: int = 0):
+        if request_bytes <= 0 or region_bytes < request_bytes:
+            raise ConfigurationError("region must hold at least one request")
+        self.region_bytes = region_bytes
+        self.request_bytes = request_bytes
+        self._slots = region_bytes // request_bytes
+        self._cursor = (start // request_bytes) % self._slots
+
+    def next_batch(self, count: int) -> np.ndarray:
+        offsets = ((self._cursor + np.arange(count, dtype=np.int64)) % self._slots) * self.request_bytes
+        self._cursor = int((self._cursor + count) % self._slots)
+        return offsets

@@ -1,0 +1,99 @@
+"""Synthetic application I/O traces.
+
+Benign-app write profiles for the §4.5 mitigation study: a mitigations
+policy must catch the wear-out attack without hurting apps that rely on
+bursts of I/O (file transfer) or steady small writes (messaging).  The
+roster includes a "Spotify bug" profile after the incident the paper
+cites — a benign app gone pathological, "redundantly issuing large
+volumes of I/O to the underlying storage" [26].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, substream
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class AppTrace:
+    """Statistical write profile of one app.
+
+    Attributes:
+        name: App label.
+        mean_bytes_per_hour: Long-run average write volume.
+        request_bytes: Typical request size.
+        burstiness: 1.0 = steady; higher = the same volume arrives in
+            rarer, larger bursts.
+        malicious: Ground-truth label for classifier evaluation.
+    """
+
+    name: str
+    mean_bytes_per_hour: float
+    request_bytes: int
+    burstiness: float = 1.0
+    malicious: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mean_bytes_per_hour < 0 or self.request_bytes <= 0:
+            raise ConfigurationError("volumes and request size must be positive")
+        if self.burstiness < 1.0:
+            raise ConfigurationError("burstiness must be >= 1")
+
+    def sample_hour(self, seed: SeedLike = None) -> Tuple[int, int]:
+        """Sample one hour of activity.
+
+        Returns (num_requests, request_bytes).  With burstiness b, the
+        app is active in a given hour with probability 1/b, writing b
+        times its mean volume when it is.
+        """
+        rng = substream(seed, f"trace-{self.name}")
+        if self.mean_bytes_per_hour == 0:
+            return 0, self.request_bytes
+        if rng.random() >= 1.0 / self.burstiness:
+            return 0, self.request_bytes
+        volume = self.mean_bytes_per_hour * self.burstiness
+        jitter = rng.lognormal(mean=0.0, sigma=0.25)
+        count = max(1, int(volume * jitter / self.request_bytes))
+        return count, self.request_bytes
+
+
+#: Benign profiles spanning the paper's concerns: steady messengers,
+#: bursty file transfers, media caching, and a logging-heavy game.
+BENIGN_TRACES: Dict[str, AppTrace] = {
+    "messenger": AppTrace("messenger", mean_bytes_per_hour=8 * MIB, request_bytes=8 * KIB),
+    "email": AppTrace("email", mean_bytes_per_hour=4 * MIB, request_bytes=16 * KIB),
+    "camera": AppTrace("camera", mean_bytes_per_hour=120 * MIB, request_bytes=4 * MIB, burstiness=6.0),
+    "file-transfer": AppTrace("file-transfer", mean_bytes_per_hour=300 * MIB, request_bytes=8 * MIB, burstiness=12.0),
+    "music-cache": AppTrace("music-cache", mean_bytes_per_hour=60 * MIB, request_bytes=1 * MIB, burstiness=3.0),
+    "game": AppTrace("game", mean_bytes_per_hour=20 * MIB, request_bytes=64 * KIB, burstiness=2.0),
+}
+
+
+def spotify_bug_trace() -> AppTrace:
+    """The Spotify bug [26]: a benign app writing pathological volumes.
+
+    Sustained tens of GiB per day of small rewrites — far above any
+    benign profile, though below a dedicated attack app.
+    """
+    return AppTrace(
+        "spotify-bug",
+        mean_bytes_per_hour=2_500 * MIB,
+        request_bytes=128 * KIB,
+        malicious=False,
+    )
+
+
+def attack_trace(throughput_mib_s: float = 20.0) -> AppTrace:
+    """The paper's attack profile: flat-out 4 KiB rewrites."""
+    return AppTrace(
+        "wear-attack",
+        mean_bytes_per_hour=throughput_mib_s * MIB * 3600,
+        request_bytes=4 * KIB,
+        malicious=True,
+    )

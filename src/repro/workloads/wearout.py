@@ -1,0 +1,137 @@
+"""Wear-out workloads (§4.3, §4.4).
+
+The paper's core experiment: "We repeatedly rewrote small, randomly-
+selected regions of four 100MB files on each external card, and
+measured the wear-out indicator."  The smartphone variant is the same
+pattern issued by an unprivileged app against its private storage.
+
+:class:`FileRewriteWorkload` implements both the 4 KiB random and
+128 KiB sequential phases of Table 1; :func:`fill_static_space` sets up
+the space-utilization conditions (0% / 50% / 90% static data).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fs.interface import File, FileSystem
+from repro.rng import SeedLike, substream
+from repro.units import KIB, MIB
+from repro.workloads.patterns import RandomPattern, SequentialPattern
+
+
+def fill_static_space(fs: FileSystem, fraction: float, name_prefix: str = "static") -> List[File]:
+    """Fill the filesystem with untouched static data up to ``fraction``
+    of device capacity (Table 1's "Space Util." column).
+
+    The static files are written once (sequentially, cheap) and never
+    touched again.  Returns the created files.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigurationError("fraction must be in [0, 1)")
+    target = int(fs.device.logical_capacity * fraction)
+    created: List[File] = []
+    chunk = 64 * MIB
+    index = 0
+    while target > 0 and fs.free_bytes() > fs.page_size:
+        size = min(chunk, target, fs.free_bytes())
+        if size < fs.page_size:
+            break
+        handle = fs.create_file(f"{name_prefix}-{index}", size)
+        # One sequential pass to materialize the data.
+        offsets = np.arange(0, size - size % (1 * MIB), 1 * MIB, dtype=np.int64)
+        if offsets.size:
+            fs.write_requests(handle, offsets, 1 * MIB)
+        created.append(handle)
+        target -= size
+        index += 1
+    return created
+
+
+class FileRewriteWorkload:
+    """Continuously rewrite regions of a set of files.
+
+    Args:
+        fs: Filesystem holding the files.
+        num_files: Number of rewrite targets (the paper used four).
+        file_bytes: Size of each file at *full* device scale; divided by
+            the device's scale factor automatically.
+        request_bytes: Per-write request size (4 KiB random phases,
+            128 KiB sequential phases).
+        pattern: "rand" or "seq".
+        batch_requests: Requests simulated per :meth:`step` (simulator
+            granularity only).
+        sync: Whether every request is synchronous (the paper's pattern).
+        target_files: Rewrite these existing files instead of creating
+            new ones — Table 1's "rand rewrite" phases aimed at the
+            utilized space.
+        seed: RNG seed for the random pattern.
+    """
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        num_files: int = 4,
+        file_bytes: int = 100 * 1000 * 1000,
+        request_bytes: int = 4 * KIB,
+        pattern: str = "rand",
+        batch_requests: int = 4096,
+        sync: bool = True,
+        target_files: Optional[List[File]] = None,
+        seed: SeedLike = None,
+    ):
+        if pattern not in ("rand", "seq"):
+            raise ConfigurationError(f"unknown pattern {pattern!r}")
+        self.fs = fs
+        self.request_bytes = request_bytes
+        self.pattern = pattern
+        self.batch_requests = batch_requests
+        self.sync = sync
+        self._rng = substream(seed, "file-rewrite")
+
+        if target_files is not None:
+            self.files = list(target_files)
+        else:
+            scale = fs.device.scale
+            scaled = max(request_bytes, fs.page_size, file_bytes // scale)
+            scaled = -(-scaled // fs.page_size) * fs.page_size
+            self.files = [fs.create_file(f"wear-{i}", scaled) for i in range(num_files)]
+        if not self.files:
+            raise ConfigurationError("need at least one target file")
+
+        self._generators = []
+        for handle in self.files:
+            usable = handle.size - handle.size % request_bytes
+            if usable < request_bytes:
+                raise ConfigurationError(f"file {handle.name!r} smaller than one request")
+            if pattern == "rand":
+                self._generators.append(RandomPattern(usable, request_bytes, seed=self._rng))
+            else:
+                self._generators.append(SequentialPattern(usable, request_bytes))
+        self._next_file = 0
+
+    @property
+    def description(self) -> str:
+        size = self.request_bytes
+        label = f"{size // KIB} KiB" if size >= KIB else f"{size} B"
+        return f"{label} {self.pattern}"
+
+    @property
+    def space_utilization(self) -> float:
+        return self.fs.utilization()
+
+    def step(self) -> Tuple[float, int]:
+        """Issue one batch against the next file (round-robin).
+
+        Returns (simulated_duration_seconds, app_bytes_written).
+        """
+        index = self._next_file
+        self._next_file = (self._next_file + 1) % len(self.files)
+        offsets = self._generators[index].next_batch(self.batch_requests)
+        duration = self.fs.write_requests(
+            self.files[index], offsets, self.request_bytes, sync=self.sync
+        )
+        return duration, self.batch_requests * self.request_bytes

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, fast flash/FTL/device instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import build_device
+from repro.flash import FlashGeometry, FlashPackage
+from repro.ftl import PageMappedFTL
+from repro.units import KIB
+
+
+@pytest.fixture
+def small_geometry() -> FlashGeometry:
+    """64 blocks x 32 pages x 4 KiB = 8 MiB of media."""
+    return FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+
+
+@pytest.fixture
+def small_package(small_geometry) -> FlashPackage:
+    return FlashPackage(small_geometry, seed=42)
+
+
+@pytest.fixture
+def small_ftl(small_package) -> PageMappedFTL:
+    """Page-granularity FTL with ~12% over-provisioning."""
+    logical = int(small_package.geometry.capacity_bytes * 0.88)
+    return PageMappedFTL(small_package, logical_capacity_bytes=logical, seed=42)
+
+
+@pytest.fixture
+def coarse_ftl(small_geometry) -> PageMappedFTL:
+    """FTL with a 2-page mapping unit (eMMC-style RMW)."""
+    package = FlashPackage(small_geometry, seed=42)
+    logical = int(small_geometry.capacity_bytes * 0.88)
+    return PageMappedFTL(package, logical_capacity_bytes=logical, mapping_unit_pages=2, seed=42)
+
+
+@pytest.fixture
+def scaled_emmc8():
+    """Heavily scaled catalog eMMC 8GB (fast to wear out in tests)."""
+    return build_device("emmc-8gb", scale=512, seed=42)
+
+
+def write_random_pages(ftl: PageMappedFTL, count: int, span_pages: int = 0, seed: int = 0) -> np.ndarray:
+    """Helper: issue `count` random 4 KiB writes within the first
+    `span_pages` logical pages (default: whole logical space)."""
+    rng = np.random.default_rng(seed)
+    page = ftl.geometry.page_size
+    limit = span_pages or ftl.num_logical_units * ftl.unit_pages
+    lpns = rng.integers(0, limit, size=count, dtype=np.int64)
+    ftl.write_requests(lpns * page, page)
+    return lpns

@@ -1,0 +1,113 @@
+"""Tests for table/figure rendering and calibration comparisons."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TARGETS,
+    ascii_series,
+    bandwidth_table,
+    compare,
+    format_table,
+    increments_table,
+    table1_rows,
+)
+from repro.core import IncrementRecord, WearOutResult
+from repro.units import GIB, HOUR, KIB
+from repro.workloads import BandwidthPoint
+
+
+def sample_result() -> WearOutResult:
+    result = WearOutResult(device_name="eMMC 8GB", filesystem="ext4")
+    result.increments.append(
+        IncrementRecord("A", 1, 2, host_bytes=int(0.9 * GIB), app_bytes=int(0.8 * GIB),
+                        seconds=2 * HOUR, io_pattern="4 KiB rand")
+    )
+    result.increments.append(
+        IncrementRecord("B", 1, 2, host_bytes=2 * GIB, app_bytes=2 * GIB,
+                        seconds=3 * HOUR, io_pattern="128 KiB seq", space_utilization=0.9)
+    )
+    return result
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        out = format_table(["col", "x"], [["a", 1], ["long-cell", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert "long-cell" in lines[3]
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestIncrementsTable:
+    def test_contains_device_and_rows(self):
+        out = increments_table(sample_result())
+        assert "eMMC 8GB" in out
+        assert "1-2" in out
+        assert "4 KiB rand" in out
+
+    def test_memory_type_filter(self):
+        out = increments_table(sample_result(), memory_type="B")
+        assert "128 KiB seq" in out
+        assert "4 KiB rand" not in out
+
+
+class TestTable1Rows:
+    def test_sections_per_memory_type(self):
+        out = table1_rows(sample_result())
+        assert "Type A flash cell" in out
+        assert "Type B flash cell" in out
+        assert "90%" in out
+
+
+class TestBandwidthTable:
+    def test_devices_by_sizes(self):
+        points = [
+            BandwidthPoint("dev1", "seq", 4 * KIB, 20.0),
+            BandwidthPoint("dev1", "seq", 2 * 1024 * KIB, 45.0),
+            BandwidthPoint("dev2", "seq", 4 * KIB, 1.0),
+        ]
+        out = bandwidth_table(points)
+        assert "4KiB" in out and "2MiB" in out
+        assert "dev1" in out and "dev2" in out
+        assert "20.0" in out
+
+
+class TestAsciiSeries:
+    def test_bars_scale_with_values(self):
+        out = ascii_series(["a", "b"], [1.0, 2.0], width=10, unit="h")
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            ascii_series(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_series([], []) == "(empty)"
+
+
+class TestCalibration:
+    def test_paper_targets_cover_headlines(self):
+        assert "emmc8-gib-per-increment" in PAPER_TARGETS
+        assert "emmc16-eol-tib" in PAPER_TARGETS
+        assert "f2fs-volume-ratio" in PAPER_TARGETS
+
+    def test_within_band(self):
+        cmp = compare("emmc8-gib-per-increment", 980.0)
+        assert cmp.within_band
+        assert "OK" in cmp.describe()
+
+    def test_out_of_band(self):
+        cmp = compare("emmc8-gib-per-increment", 5000.0)
+        assert not cmp.within_band
+        assert "OFF" in cmp.describe()
+
+    def test_every_target_cites_its_source(self):
+        for target in PAPER_TARGETS.values():
+            assert target.source
+            assert target.rel_tolerance > 0

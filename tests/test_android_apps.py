@@ -1,0 +1,104 @@
+"""Tests for the app sandbox and the wear-out attack app (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.android import Phone, WearAttackApp
+from repro.android.app import App, BenignTraceApp
+from repro.devices import build_device
+from repro.errors import ConfigurationError, PermissionDenied
+from repro.units import KIB
+from repro.workloads.traces import BENIGN_TRACES
+
+
+@pytest.fixture
+def phone():
+    return Phone(build_device("moto-e-8gb", scale=256, seed=6), filesystem="ext4")
+
+
+class TestSandbox:
+    def test_private_files_need_no_permissions(self, phone):
+        """'Notably, our application required no special permissions.'"""
+        app = App("com.example.app")
+        phone.install(app)
+        handle = app.create_private_file(phone, "data", 64 * KIB)
+        app.check_write_allowed(handle)  # must not raise
+        assert app.permissions == set()
+
+    def test_foreign_files_denied_without_permission(self, phone):
+        victim = App("com.victim")
+        attacker = App("com.attacker")
+        phone.install(victim)
+        phone.install(attacker)
+        target = victim.create_private_file(phone, "secret", 64 * KIB)
+        with pytest.raises(PermissionDenied):
+            attacker.check_write_allowed(target)
+
+    def test_external_storage_permission_grants_access(self, phone):
+        victim = App("com.victim")
+        holder = App("com.holder", permissions={"WRITE_EXTERNAL_STORAGE"})
+        phone.install(victim)
+        phone.install(holder)
+        target = victim.create_private_file(phone, "shared", 64 * KIB)
+        holder.check_write_allowed(target)  # must not raise
+
+    def test_duplicate_install_rejected(self, phone):
+        phone.install(App("a"))
+        with pytest.raises(ValueError):
+            phone.install(App("a"))
+
+
+class TestWearAttackApp:
+    def test_creates_scaled_100mb_files(self, phone):
+        attack = WearAttackApp(seed=1)
+        phone.install(attack)
+        assert len(attack.private_files) == 4
+        assert attack.footprint_bytes > 0
+
+    def test_footprint_under_3_percent(self):
+        """§1: the attack uses <3% of capacity (on realistic devices)."""
+        dev = build_device("samsung-s6-32gb", scale=64, seed=1)
+        phone = Phone(dev, filesystem="ext4")
+        attack = WearAttackApp(seed=1)
+        phone.install(attack)
+        assert attack.footprint_bytes / dev.logical_capacity < 0.03
+
+    def test_naive_strategy_always_runs(self):
+        attack = WearAttackApp(strategy="naive")
+        assert attack.should_run(charging=False, screen_on=True)
+
+    def test_stealthy_only_when_charging_screen_off(self):
+        """The §4.4 evasion predicate."""
+        attack = WearAttackApp(strategy="stealthy")
+        assert attack.should_run(charging=True, screen_on=False)
+        assert not attack.should_run(charging=True, screen_on=True)
+        assert not attack.should_run(charging=False, screen_on=False)
+
+    def test_tick_writes_rate_targeted_batch(self, phone):
+        attack = WearAttackApp(strategy="naive", target_mib_s=16.0, seed=1)
+        phone.install(attack)
+        writes = attack.on_tick(phone, 0.0, 60.0)
+        assert writes
+        _, offsets, request = writes[0]
+        expected = 16 * 1024 * 1024 * 60 / 4096 / phone.device.scale
+        assert offsets.size == pytest.approx(expected, rel=0.01)
+        assert request == 4 * KIB
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            WearAttackApp(strategy="loud")
+
+
+class TestBenignTraceApp:
+    def test_installs_working_set(self, phone):
+        app = BenignTraceApp(BENIGN_TRACES["messenger"], seed=1)
+        phone.install(app)
+        assert app._file is not None
+
+    def test_ticks_produce_bounded_io(self, phone):
+        app = BenignTraceApp(BENIGN_TRACES["messenger"], seed=1)
+        phone.install(app)
+        writes = app.on_tick(phone, 0.0, 60.0)
+        if writes:
+            _, offsets, _ = writes[0]
+            assert offsets.size <= 64

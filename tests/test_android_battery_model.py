@@ -1,0 +1,86 @@
+"""Tests for the battery charge model and its phone integration."""
+
+import pytest
+
+from repro.android import ChargingSchedule, Phone, ScreenSchedule, WearAttackApp
+from repro.android.battery import BatteryModel
+from repro.devices import DEVICE_SPECS
+from repro.errors import ConfigurationError
+from repro.units import GIB, HOUR
+
+import dataclasses
+
+
+class TestBatteryModel:
+    def test_charging_fills(self):
+        battery = BatteryModel(level=0.2, charge_rate_per_hour=0.5)
+        battery.step(2 * HOUR, charging=True, screen_on=False)
+        assert battery.level == pytest.approx(1.0)
+
+    def test_level_clamped_to_unit_interval(self):
+        battery = BatteryModel(level=0.95)
+        battery.step(10 * HOUR, charging=True, screen_on=False)
+        assert battery.level == 1.0
+        battery.step(1000 * HOUR, charging=False, screen_on=True)
+        assert battery.level == 0.0
+
+    def test_screen_drains_faster_than_idle(self):
+        idle = BatteryModel(level=1.0)
+        screen = BatteryModel(level=1.0)
+        idle.step(HOUR, charging=False, screen_on=False)
+        screen.step(HOUR, charging=False, screen_on=True)
+        assert screen.level < idle.level
+
+    def test_io_drains_battery(self):
+        """Sustained flat-out writes measurably eat charge — the §4.4
+        power-monitor signal in physical form."""
+        quiet = BatteryModel(level=1.0)
+        writer = BatteryModel(level=1.0)
+        quiet.step(HOUR, charging=False, screen_on=False)
+        writer.step(HOUR, charging=False, screen_on=False, io_bytes=50 * GIB)
+        assert quiet.level - writer.level > 0.05
+
+    def test_rejects_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel(level=1.5)
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel().step(-1.0, False, False)
+
+
+class TestPhoneIntegration:
+    def make_phone(self, **kwargs):
+        spec = dataclasses.replace(DEVICE_SPECS["moto-e-8gb"], endurance=100_000)
+        return Phone(spec.build(scale=128, seed=6), filesystem="ext4", **kwargs)
+
+    def test_naive_attack_off_charger_kills_battery(self):
+        phone = self.make_phone(
+            charging=ChargingSchedule.never(),
+            screen=ScreenSchedule.always_off(),
+        )
+        phone.install(WearAttackApp(strategy="naive", seed=1))
+        report = phone.run(hours=24, tick_seconds=120)
+        assert report.min_battery_level == 0.0
+        assert report.dead_battery_seconds > 0
+
+    def test_dead_battery_stops_the_attack(self):
+        phone = self.make_phone(
+            charging=ChargingSchedule.never(),
+            screen=ScreenSchedule.always_off(),
+        )
+        attack = WearAttackApp(strategy="naive", seed=1)
+        phone.install(attack)
+        phone.run(hours=12, tick_seconds=120)
+        written_at_death = attack.bytes_written
+        phone.run(hours=12, tick_seconds=120)
+        assert attack.bytes_written == written_at_death
+
+    def test_stealthy_attack_keeps_battery_healthy(self):
+        """Charging-window-only writes never drain the battery — one
+        more reason the stealthy strategy goes unnoticed."""
+        phone = self.make_phone()
+        phone.install(WearAttackApp(strategy="stealthy", seed=1))
+        report = phone.run(hours=48, tick_seconds=120)
+        assert report.min_battery_level > 0.2
+        assert report.dead_battery_seconds == 0.0

@@ -1,0 +1,79 @@
+"""Tests for the power and process monitors and their evasion (§4.4)."""
+
+import pytest
+
+from repro.android import PowerMonitor, ProcessMonitor
+from repro.errors import ConfigurationError
+from repro.units import GIB, HOUR, MIB
+
+
+class TestPowerMonitor:
+    def test_charging_io_is_invisible(self):
+        """'Android monitors energy consumption, but only when on
+        battery' — the attack's first evasion."""
+        mon = PowerMonitor()
+        for hour in range(10):
+            event = mon.record_io("attack", 10 * GIB, hour * HOUR, charging=True)
+            assert event is None
+        assert mon.energy_of("attack") == 0.0
+
+    def test_battery_io_accumulates_and_flags(self):
+        mon = PowerMonitor(joules_per_mib=0.15, flag_threshold_j=400.0)
+        flagged = None
+        for i in range(100):
+            flagged = mon.record_io("attack", GIB, i * 60.0, charging=False)
+            if flagged:
+                break
+        assert flagged is not None
+        assert flagged.monitor == "power"
+        assert flagged.app_name == "attack"
+
+    def test_daily_window_resets(self):
+        mon = PowerMonitor(flag_threshold_j=10_000.0)
+        mon.record_io("app", GIB, 0.0, charging=False)
+        before = mon.energy_of("app")
+        mon.record_io("app", MIB, 25 * HOUR, charging=False)
+        assert mon.energy_of("app") < before
+
+    def test_small_benign_io_never_flags(self):
+        mon = PowerMonitor()
+        for hour in range(24):
+            event = mon.record_io("messenger", 8 * MIB, hour * HOUR, charging=False)
+            assert event is None
+
+    def test_rejects_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PowerMonitor(joules_per_mib=0)
+
+
+class TestProcessMonitor:
+    def test_screen_off_sees_nothing(self):
+        """'By suspending malicious I/O when the screen is on, one can
+        effectively evade this process monitor' — conversely, screen-off
+        samples never observe anything."""
+        mon = ProcessMonitor()
+        for t in range(100):
+            events = mon.sample(["attack"], screen_on=False, t_seconds=t, dt_seconds=60.0)
+            assert events == []
+        assert mon.sightings_of("attack") == 0
+
+    def test_busy_app_flagged_after_enough_sightings(self):
+        mon = ProcessMonitor(refresh_seconds=1.0, flag_after_sightings=30)
+        events = mon.sample(["attack"], screen_on=True, t_seconds=0.0, dt_seconds=60.0)
+        assert events and events[0].app_name == "attack"
+
+    def test_flagging_happens_once(self):
+        mon = ProcessMonitor(flag_after_sightings=5)
+        mon.sample(["attack"], True, 0.0, 60.0)
+        again = mon.sample(["attack"], True, 60.0, 60.0)
+        assert again == []
+
+    def test_sightings_accumulate_across_samples(self):
+        mon = ProcessMonitor(refresh_seconds=1.0, flag_after_sightings=100)
+        mon.sample(["a"], True, 0.0, 30.0)
+        mon.sample(["a"], True, 30.0, 30.0)
+        assert mon.sightings_of("a") == 60
+
+    def test_rejects_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ProcessMonitor(refresh_seconds=0)

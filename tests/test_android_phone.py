@@ -1,0 +1,121 @@
+"""Tests for the phone model: detection, evasion, bricking (§4.4)."""
+
+import pytest
+
+from repro.android import ChargingSchedule, Phone, ScreenSchedule, WearAttackApp
+from repro.devices import DEVICE_SPECS, build_device
+from repro.errors import DeviceBricked
+
+import dataclasses
+
+
+def make_phone(key="moto-e-8gb", endurance=None, seed=6, **kwargs):
+    spec = DEVICE_SPECS[key]
+    if endurance is not None:
+        spec = dataclasses.replace(spec, endurance=endurance)
+    return Phone(spec.build(scale=256, seed=seed), filesystem="ext4", **kwargs)
+
+
+class TestSchedulesOnPhone:
+    def test_charging_and_screen_follow_clock(self):
+        phone = make_phone(
+            charging=ChargingSchedule(windows=((0.0, 24.0),)),
+            screen=ScreenSchedule.always_off(),
+        )
+        assert phone.is_charging
+        assert not phone.screen_on
+
+
+class TestNaiveAttackDetection:
+    def test_naive_attack_flagged_within_a_day(self):
+        phone = make_phone()
+        attack = WearAttackApp(strategy="naive", seed=1)
+        phone.install(attack)
+        report = phone.run(hours=24, tick_seconds=120)
+        monitors = {e.monitor for e in report.detections}
+        assert attack.name in report.detected_apps
+        assert "process" in monitors or "power" in monitors
+        assert attack.flagged
+
+    def test_kill_flagged_apps_stops_the_attack(self):
+        phone = make_phone(kill_flagged_apps=True)
+        attack = WearAttackApp(strategy="naive", seed=1)
+        phone.install(attack)
+        phone.run(hours=24, tick_seconds=120)
+        assert attack.killed
+        total = attack.bytes_written
+        phone.run(hours=12, tick_seconds=120)
+        assert attack.bytes_written == total
+
+
+class TestStealthyEvasion:
+    def test_stealthy_attack_never_detected(self):
+        """§4.4: charging-only + screen-off I/O evades both monitors."""
+        phone = make_phone(endurance=100_000)  # plenty of life: full 3 days
+        attack = WearAttackApp(strategy="stealthy", seed=1)
+        phone.install(attack)
+        report = phone.run(hours=72, tick_seconds=120)
+        assert report.detections == []
+        assert report.app_bytes.get(attack.name, 0) > 0
+
+    def test_stealthy_duty_cycle_matches_schedules(self):
+        phone = make_phone(endurance=100_000)
+        attack = WearAttackApp(strategy="stealthy", seed=1)
+        phone.install(attack)
+        report = phone.run(hours=48, tick_seconds=120)
+        # Charging fraction ~0.4, screen mostly off at night.
+        assert 0.2 < report.attack_duty_cycle < 0.6
+
+
+class TestBricking:
+    def test_sustained_attack_bricks_the_phone(self):
+        phone = make_phone(
+            endurance=100,
+            charging=ChargingSchedule.always(),
+            screen=ScreenSchedule.always_off(),
+        )
+        attack = WearAttackApp(strategy="stealthy", seed=1)
+        phone.install(attack)
+        report = phone.run(hours=24 * 10, tick_seconds=300)
+        assert report.bricked
+        assert phone.bricked
+        assert report.bricked_at is not None
+
+    def test_bricked_phone_fails_boot_write(self):
+        phone = make_phone(endurance=100_000)
+        phone.bricked = True
+        with pytest.raises(DeviceBricked):
+            phone.write_boot_partition()
+
+    def test_healthy_phone_boots(self):
+        phone = make_phone(endurance=100_000)
+        phone.write_boot_partition()  # must not raise
+
+    def test_run_stops_at_brick(self):
+        phone = make_phone(
+            endurance=60,
+            charging=ChargingSchedule.always(),
+            screen=ScreenSchedule.always_off(),
+        )
+        attack = WearAttackApp(strategy="stealthy", seed=1)
+        phone.install(attack)
+        report = phone.run(hours=24 * 30, tick_seconds=300)
+        assert report.bricked
+        assert report.simulated_seconds < 24 * 30 * 3600
+
+
+class TestBackpressure:
+    def test_attack_cannot_exceed_device_throughput(self):
+        """The phone's I/O-debt mechanism caps effective write rate at
+        what the storage can actually serve."""
+        phone = make_phone(
+            key="blu-512mb",
+            endurance=100_000,
+            charging=ChargingSchedule.always(),
+            screen=ScreenSchedule.always_off(),
+        )
+        attack = WearAttackApp(strategy="stealthy", target_mib_s=50.0, seed=1)
+        phone.install(attack)
+        report = phone.run(hours=4, tick_seconds=60)
+        effective_mib_s = report.app_bytes[attack.name] / report.simulated_seconds / 2**20
+        assert effective_mib_s < 5.0  # BLU tops out ~2 MiB/s at 4 KiB

@@ -1,0 +1,103 @@
+"""Tests for charging/screen schedules and the thermal model."""
+
+import pytest
+
+from repro.android import ChargingSchedule, ScreenSchedule, ThermalModel
+from repro.errors import ConfigurationError
+from repro.units import DAY, HOUR, MINUTE
+
+
+class TestChargingSchedule:
+    def test_overnight_window_wraps_midnight(self):
+        sched = ChargingSchedule(windows=((22.0, 7.0),))
+        assert sched.is_charging(23 * HOUR)
+        assert sched.is_charging(2 * HOUR)
+        assert not sched.is_charging(12 * HOUR)
+
+    def test_daytime_window(self):
+        sched = ChargingSchedule(windows=((13.0, 14.0),))
+        assert sched.is_charging(13.5 * HOUR)
+        assert not sched.is_charging(15 * HOUR)
+
+    def test_default_charging_fraction_is_substantial(self):
+        """§4.4: 'most phones spend a significant fraction of the day
+        charging'."""
+        frac = ChargingSchedule().daily_charging_fraction()
+        assert 0.3 < frac < 0.5
+
+    def test_always_and_never(self):
+        assert ChargingSchedule.always().daily_charging_fraction() == pytest.approx(1.0)
+        assert ChargingSchedule.never().daily_charging_fraction() == 0.0
+
+    def test_repeats_daily(self):
+        sched = ChargingSchedule()
+        assert sched.is_charging(23 * HOUR) == sched.is_charging(23 * HOUR + 5 * DAY)
+
+    def test_rejects_out_of_range_hours(self):
+        with pytest.raises(ConfigurationError):
+            ChargingSchedule(windows=((0.0, 25.0),))
+
+
+class TestScreenSchedule:
+    def test_session_at_top_of_waking_hour(self):
+        sched = ScreenSchedule(wake_hour=7, sleep_hour=23, session_minutes=12)
+        assert sched.is_on(10 * HOUR + 5 * MINUTE)
+        assert not sched.is_on(10 * HOUR + 30 * MINUTE)
+
+    def test_off_while_asleep(self):
+        sched = ScreenSchedule()
+        assert not sched.is_on(3 * HOUR)
+
+    def test_daily_fraction(self):
+        sched = ScreenSchedule(wake_hour=8, sleep_hour=20, session_minutes=15)
+        assert sched.daily_on_fraction() == pytest.approx(12 * 0.25 / 24)
+
+    def test_always_off(self):
+        sched = ScreenSchedule.always_off()
+        assert not sched.is_on(10 * HOUR)
+
+    def test_rejects_inverted_hours(self):
+        with pytest.raises(ConfigurationError):
+            ScreenSchedule(wake_hour=20, sleep_hour=8)
+
+
+class TestThermal:
+    def test_starts_at_ambient(self):
+        model = ThermalModel(ambient_c=20.0)
+        assert model.temperature_c == 20.0
+
+    def test_io_heats_toward_equilibrium(self):
+        model = ThermalModel()
+        for _ in range(100):
+            model.step(60.0, io_active=True, charging=False)
+        assert model.temperature_c == pytest.approx(
+            model.ambient_c + model.io_delta_c, abs=0.5
+        )
+
+    def test_io_plus_charging_is_hotter(self):
+        a, b = ThermalModel(), ThermalModel()
+        for _ in range(50):
+            a.step(60.0, io_active=True, charging=False)
+            b.step(60.0, io_active=True, charging=True)
+        assert b.temperature_c > a.temperature_c
+
+    def test_cools_when_idle(self):
+        model = ThermalModel()
+        for _ in range(50):
+            model.step(60.0, io_active=True, charging=True)
+        hot = model.temperature_c
+        for _ in range(50):
+            model.step(60.0, io_active=False, charging=False)
+        assert model.temperature_c < hot
+
+    def test_suspicion_threshold(self):
+        """§4.4: sustained I/O + charging heat 'may raise the suspicion
+        of users'."""
+        model = ThermalModel()
+        for _ in range(200):
+            model.step(60.0, io_active=True, charging=True)
+        assert model.temperature_c >= model.suspicious_c - 2.0
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().step(-1.0, False, False)

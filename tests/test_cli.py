@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDevices:
+    def test_lists_all_catalog_keys(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for key in ("emmc-8gb", "usd-16gb", "samsung-s6-32gb", "blu-512mb"):
+            assert key in out
+
+    def test_marks_hybrid_and_indicator_support(self, capsys):
+        main(["devices"])
+        out = capsys.readouterr().out
+        lines = {line.split()[0]: line for line in out.splitlines() if line.startswith(("emmc", "blu", "usd", "moto", "samsung"))}
+        assert "yes" in lines["emmc-16gb"]
+        assert "no" in lines["blu-512mb"]
+
+
+class TestEstimate:
+    def test_with_raw_capacity(self, capsys):
+        assert main(["estimate", "8GB"]) == 0
+        out = capsys.readouterr().out
+        assert "3000 full rewrites" in out
+        assert "days" in out
+
+    def test_with_catalog_key(self, capsys):
+        assert main(["estimate", "emmc-8gb", "--endurance", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "2000 full rewrites" in out
+
+
+class TestBandwidth:
+    def test_prints_figure1_row(self, capsys):
+        assert main(["bandwidth", "usd-16gb", "--pattern", "rand", "--scale", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "uSD 16GB" in out
+        assert "4KiB" in out
+
+
+class TestWearout:
+    def test_runs_to_level(self, capsys):
+        code = main(["wearout", "emmc-8gb", "--level", "2", "--scale", "128", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1-2" in out
+        assert "write amplification" in out
+
+    def test_fs_choice_respected(self, capsys):
+        main(["wearout", "moto-e-8gb", "--fs", "f2fs", "--level", "2", "--scale", "128"])
+        out = capsys.readouterr().out
+        assert "f2fs" in out
+
+
+class TestPhone:
+    def test_stealthy_run(self, capsys):
+        code = main(["phone", "moto-e-8gb", "--strategy", "stealthy", "--hours", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "duty cycle" in out
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["phone", "not-a-device"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

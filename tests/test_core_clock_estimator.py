@@ -1,0 +1,72 @@
+"""Tests for SimClock and the back-of-the-envelope estimator (§2.3)."""
+
+import pytest
+
+from repro.core import SimClock, estimate_lifetime
+from repro.errors import ConfigurationError
+from repro.units import DAY, GB, GIB, HOUR, MIB
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(5.0)
+        assert clock.now == 15.0
+
+    def test_hours_property(self):
+        clock = SimClock(start=2 * HOUR)
+        assert clock.hours == pytest.approx(2.0)
+
+    def test_rejects_backwards_time(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().advance(-1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(start=-1.0)
+
+
+class TestEstimator:
+    def test_paper_example_3k_rewrites(self):
+        """§2.3: a consumer SSD endures ~3K rewrites of its full data."""
+        est = estimate_lifetime(8 * GB)
+        assert est.full_rewrites == 3000
+        assert est.total_write_bytes == 8 * GB * 3000
+
+    def test_three_rewrites_per_day_for_three_years(self):
+        """§2.3: 'the drive can be completely rewritten three times a
+        day over for three years.'"""
+        est = estimate_lifetime(8 * GB)
+        days = est.lifetime_days(daily_write_bytes=3 * 8 * GB)
+        assert days == pytest.approx(1000)  # ~3 years
+
+    def test_lifetime_at_throughput(self):
+        est = estimate_lifetime(8 * GB)
+        days = est.lifetime_days_at_throughput(20.0)  # MiB/s, 24/7
+        expected = 8 * GB * 3000 / (20 * MIB * DAY)
+        assert days == pytest.approx(expected)
+
+    def test_duty_cycle_extends_lifetime(self):
+        est = estimate_lifetime(8 * GB)
+        full = est.lifetime_days_at_throughput(20.0, duty_cycle=1.0)
+        half = est.lifetime_days_at_throughput(20.0, duty_cycle=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_describe_mentions_rewrites(self):
+        assert "3000 full rewrites" in estimate_lifetime(8 * GB).describe()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_bytes": 0},
+        {"capacity_bytes": GIB, "endurance": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            estimate_lifetime(**kwargs)
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            estimate_lifetime(GIB).lifetime_days_at_throughput(10.0, duty_cycle=0.0)

@@ -1,0 +1,115 @@
+"""Tests for I/O trace capture and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracing import IoEvent, IoTrace, TracingDevice, replay
+from repro.devices import build_device
+from repro.errors import ConfigurationError
+from repro.fs import Ext4Model
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+
+@pytest.fixture
+def device():
+    return build_device("emmc-8gb", scale=128, seed=4)
+
+
+class TestRecording:
+    def test_records_write_batches(self, device):
+        tracer = TracingDevice(device, app="test-app")
+        tracer.write_many(np.arange(8) * 4 * KIB, 4 * KIB)
+        assert len(tracer.trace) == 1
+        event = tracer.trace.events[0]
+        assert event.op == "write"
+        assert event.total_bytes == 8 * 4 * KIB
+        assert event.app == "test-app"
+        assert event.duration > 0
+
+    def test_records_reads(self, device):
+        tracer = TracingDevice(device)
+        tracer.write(0, 4 * KIB)
+        tracer.read(0, 4 * KIB)
+        assert [e.op for e in tracer.trace] == ["write", "read"]
+
+    def test_delegates_device_surface(self, device):
+        tracer = TracingDevice(device)
+        assert tracer.logical_capacity == device.logical_capacity
+        assert tracer.name == device.name
+
+    def test_volume_summaries(self, device):
+        tracer = TracingDevice(device)
+        tracer.write_many(np.arange(4) * 4 * KIB, 4 * KIB)
+        tracer.read_many(np.arange(2) * 4 * KIB, 4 * KIB)
+        assert tracer.trace.written_bytes == 16 * KIB
+        assert tracer.trace.read_bytes == 8 * KIB
+
+    def test_works_under_a_filesystem(self, device):
+        tracer = TracingDevice(device, app="attack")
+        fs = Ext4Model(tracer)
+        wl = FileRewriteWorkload(fs, num_files=2, batch_requests=64, seed=4)
+        wl.step()
+        assert tracer.trace.written_bytes > 0
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path, device):
+        tracer = TracingDevice(device)
+        tracer.write_many(np.arange(8) * 4 * KIB, 4 * KIB)
+        path = tmp_path / "trace.jsonl"
+        tracer.trace.save(path)
+        loaded = IoTrace.load(path)
+        assert len(loaded) == 1
+        assert loaded.device_name == device.name
+        assert loaded.scale == device.scale
+        assert loaded.events[0].offsets == tracer.trace.events[0].offsets
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            IoTrace.load(path)
+
+
+class TestReplay:
+    def test_replay_reproduces_volume(self, device):
+        tracer = TracingDevice(device)
+        tracer.write_many(np.arange(64) * 4 * KIB, 4 * KIB)
+
+        target = build_device("emmc-8gb", scale=128, seed=5)
+        duration = replay(tracer.trace, target)
+        assert duration > 0
+        assert target.host_bytes_written == tracer.trace.written_bytes
+
+    def test_replay_on_smaller_device_clips(self, device):
+        tracer = TracingDevice(device)
+        big_offset = device.logical_capacity - 8 * KIB
+        tracer.write(big_offset, 4 * KIB)
+
+        target = build_device("blu-512mb", scale=8, seed=5)
+        replay(tracer.trace, target)
+        assert target.host_bytes_written == 4 * KIB
+
+    def test_unknown_op_rejected(self, device):
+        trace = IoTrace([IoEvent(op="scribble", offsets=[0], request_bytes=4096, duration=0.0)])
+        with pytest.raises(ConfigurationError):
+            replay(trace, device)
+
+    def test_cross_device_replay_compares_wear(self):
+        """Replaying one attack trace across devices ranks their
+        vulnerability (wear per byte)."""
+        source = build_device("emmc-8gb", scale=128, seed=4)
+        tracer = TracingDevice(source)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            offsets = rng.integers(0, 2000, size=2000) * 4 * KIB
+            tracer.write_many(offsets, 4 * KIB)
+
+        wear = {}
+        for key in ("samsung-s6-32gb", "usd-16gb"):
+            target = build_device(key, scale=256, seed=5)
+            replay(tracer.trace, target)
+            wear[key] = target.ftl.life_used()
+        # The coarse-mapped uSD wears far faster for the same trace.
+        assert wear["usd-16gb"] > 2 * wear["samsung-s6-32gb"]

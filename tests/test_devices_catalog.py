@@ -1,0 +1,113 @@
+"""Tests for the calibrated device catalog (§4.1's seven devices)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import DEVICE_SPECS, EmmcDevice, MicroSdDevice, UfsDevice, build_device
+from repro.errors import ConfigurationError
+from repro.ftl import HybridFTL
+from repro.units import KIB, MIB
+
+EXPECTED_KEYS = {
+    "usd-16gb",
+    "emmc-8gb",
+    "emmc-16gb",
+    "moto-e-8gb",
+    "samsung-s6-32gb",
+    "blu-512mb",
+    "blu-4gb",
+}
+
+
+class TestRoster:
+    def test_all_paper_devices_present(self):
+        assert set(DEVICE_SPECS) == EXPECTED_KEYS
+
+    def test_unknown_key_rejected_with_listing(self):
+        with pytest.raises(ConfigurationError, match="emmc-8gb"):
+            build_device("nope")
+
+    @pytest.mark.parametrize("key", sorted(EXPECTED_KEYS))
+    def test_every_device_builds_scaled(self, key):
+        dev = build_device(key, scale=256, seed=1)
+        assert dev.logical_capacity > 0
+        dev.write(0, 4 * KIB)  # and accepts I/O
+
+    def test_classes_match_device_kind(self):
+        assert isinstance(build_device("usd-16gb", scale=256), MicroSdDevice)
+        assert isinstance(build_device("emmc-8gb", scale=256), EmmcDevice)
+        assert isinstance(build_device("samsung-s6-32gb", scale=256), UfsDevice)
+
+    def test_budget_phones_lack_indicators(self):
+        """§4.4: the BLU eMMC chips 'did not provide reliable wear-out
+        indications'."""
+        for key in ("blu-512mb", "blu-4gb"):
+            dev = build_device(key, scale=64)
+            assert not dev.indicator_supported
+
+    def test_hybrid_only_on_sandisk_16gb(self):
+        hybrid = build_device("emmc-16gb", scale=256, seed=1)
+        assert isinstance(hybrid.ftl, HybridFTL)
+        assert hybrid.is_hybrid
+        plain = build_device("emmc-8gb", scale=256, seed=1)
+        assert not plain.is_hybrid
+
+    def test_over_provisioning_exists_everywhere(self):
+        for key, spec in DEVICE_SPECS.items():
+            assert spec.raw_bytes > spec.advertised_bytes, key
+
+
+class TestScaling:
+    def test_scale_divides_capacity(self):
+        full = DEVICE_SPECS["emmc-8gb"]
+        dev = full.build(scale=128, seed=1)
+        assert dev.logical_capacity == full.advertised_bytes // 128
+
+    def test_rejects_scale_below_one(self):
+        with pytest.raises(ConfigurationError):
+            build_device("emmc-8gb", scale=0)
+
+    def test_heavy_scaling_keeps_enough_blocks(self):
+        dev = build_device("emmc-8gb", scale=512, seed=1)
+        assert dev.ftl.geometry.num_blocks >= 64
+
+
+class TestPerformanceCharacteristics:
+    def test_emmc_outperforms_usd_at_4kib_random(self):
+        """§4.2: 'eMMC chips outperform the MicroSD card in all I/O
+        patterns, including random I/O.'"""
+        rng = np.random.default_rng(0)
+
+        def rand_bw(key):
+            dev = build_device(key, scale=256, seed=1)
+            n = 512
+            offsets = rng.integers(0, dev.logical_capacity // (4 * KIB) - 1, size=n) * (4 * KIB)
+            d = dev.write_many(offsets, 4 * KIB)
+            return n * 4 * KIB / d
+
+        assert rand_bw("emmc-8gb") > 5 * rand_bw("usd-16gb")
+
+    def test_usd_sequential_large_is_respectable(self):
+        dev = build_device("usd-16gb", scale=256, seed=1)
+        d = dev.write_many(np.arange(8) * MIB, MIB)
+        bw_mib = 8 * MIB / d / MIB
+        assert bw_mib > 10
+
+    def test_ufs_is_fastest(self):
+        def seq_bw(key):
+            dev = build_device(key, scale=256, seed=1)
+            d = dev.write_many(np.arange(4) * MIB, MIB)
+            return 4 * MIB / d
+
+        assert seq_bw("samsung-s6-32gb") > seq_bw("emmc-16gb") > seq_bw("usd-16gb")
+
+
+class TestWearCharacteristics:
+    def test_mapping_granularity_ordering(self):
+        """uSD maps coarsest; UFS maps pages."""
+        assert DEVICE_SPECS["usd-16gb"].mapping_unit_pages == 16
+        assert DEVICE_SPECS["samsung-s6-32gb"].mapping_unit_pages == 1
+        assert DEVICE_SPECS["emmc-8gb"].mapping_unit_pages == 2
+
+    def test_endurance_reflects_cell_density(self):
+        assert DEVICE_SPECS["samsung-s6-32gb"].endurance < DEVICE_SPECS["emmc-16gb"].endurance

@@ -1,0 +1,110 @@
+"""Tests for the BlockDevice wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.devices import PerformanceModel, build_device
+from repro.devices.interface import BlockDevice
+from repro.errors import ReadOnlyError
+from repro.flash import FlashGeometry, FlashPackage
+from repro.ftl import PageMappedFTL
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def device():
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+    pkg = FlashPackage(geom, seed=5)
+    ftl = PageMappedFTL(pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.85), seed=5)
+    return BlockDevice("test-dev", ftl, PerformanceModel(peak_write_mib_s=40.0), scale=4)
+
+
+class TestWrites:
+    def test_write_returns_positive_duration(self, device):
+        assert device.write(0, 4 * KIB) > 0
+
+    def test_duration_matches_perf_model(self, device):
+        d = device.write_many(np.arange(256) * 4 * KIB, 4 * KIB)
+        expected = device.perf.write_duration(MIB, 4 * KIB, media_ratio=1.0)
+        assert d == pytest.approx(expected, rel=0.05)
+
+    def test_media_work_slows_requests(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+        pkg = FlashPackage(geom, seed=5)
+        coarse = PageMappedFTL(
+            pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.85),
+            mapping_unit_pages=4, seed=5,
+        )
+        dev = BlockDevice("coarse", coarse, PerformanceModel(peak_write_mib_s=40.0))
+        offsets = np.arange(64) * 16 * KIB  # distinct units
+        d = dev.write_many(offsets, 4 * KIB)
+        ideal = dev.perf.write_duration(64 * 4 * KIB, 4 * KIB, media_ratio=1.0)
+        assert d == pytest.approx(4 * ideal, rel=0.05)
+
+    def test_volume_accounting(self, device):
+        device.write_many(np.arange(16) * 4 * KIB, 4 * KIB)
+        assert device.host_bytes_written == 16 * 4 * KIB
+        assert device.busy_seconds > 0
+
+    def test_empty_batch_zero_duration(self, device):
+        assert device.write_many(np.array([], dtype=np.int64), 4 * KIB) == 0.0
+
+
+class TestReads:
+    def test_read_returns_duration(self, device):
+        device.write(0, 4 * KIB)
+        assert device.read(0, 4 * KIB) > 0
+
+    def test_read_volume_accounting(self, device):
+        device.read_many(np.arange(8) * 4 * KIB, 4 * KIB)
+        assert device.host_bytes_read == 8 * 4 * KIB
+
+
+class TestTrim:
+    def test_trim_is_free_and_unmaps(self, device):
+        device.write(0, 64 * KIB)
+        device.trim(0, 64 * KIB)
+        assert (device.ftl._l2p[: 64 * KIB // (4 * KIB)] == -1).all()
+
+
+class TestHealth:
+    def test_health_report_fields(self, device):
+        device.write_many(np.arange(32) * 4 * KIB, 4 * KIB)
+        report = device.health_report()
+        assert report.device_name == "test-dev"
+        assert report.supported
+        assert not report.read_only
+        assert report.worst_level == 1
+        assert report.host_bytes_written == 32 * 4 * KIB
+        assert report.write_amplification >= 1.0
+
+    def test_wear_indicators_single_pool_keyed_a(self, device):
+        assert set(device.wear_indicators()) == {"A"}
+
+    def test_describe_mentions_device(self, device):
+        assert "test-dev" in device.health_report().describe()
+
+
+class TestFailure:
+    def test_read_only_device_rejects_writes(self, device):
+        device.failed = True
+        with pytest.raises(ReadOnlyError):
+            device.write(0, 4 * KIB)
+
+    def test_idle_delegates_to_packages(self, device):
+        device.idle(3600.0)  # must not raise
+
+
+class TestScaleAttribute:
+    def test_scale_recorded(self, device):
+        assert device.scale == 4
+
+    def test_catalog_builds_carry_scale(self):
+        dev = build_device("emmc-8gb", scale=64, seed=1)
+        assert dev.scale == 64
+
+    def test_catalog_scale_clamped_to_64mib_floor(self):
+        """Requesting more scaling than the 64 MiB raw floor allows is
+        clamped, and the recorded (effective) scale reflects that."""
+        dev = build_device("emmc-8gb", scale=10_000, seed=1)
+        assert dev.scale == 128  # 8 GiB / 64 MiB

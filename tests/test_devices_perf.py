@@ -1,0 +1,69 @@
+"""Tests for the request-size-dependent performance model (§4.2)."""
+
+import pytest
+
+from repro.devices import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.units import KIB, MIB
+
+
+class TestBandwidthCurve:
+    def test_scales_with_request_size_then_plateaus(self):
+        """§4.2: 'throughput generally scales linearly until it plateaus'."""
+        model = PerformanceModel(peak_write_mib_s=48.0, write_half_size=4 * KIB)
+        sizes = [512, 4 * KIB, 64 * KIB, MIB, 16 * MIB]
+        bws = [model.write_bandwidth(s) for s in sizes]
+        assert bws == sorted(bws)
+        # Plateau: the last doubling gains little.
+        assert model.write_bandwidth(16 * MIB) < model.write_bandwidth(8 * MIB) * 1.01
+
+    def test_half_size_semantics(self):
+        model = PerformanceModel(peak_write_mib_s=40.0, write_half_size=4 * KIB)
+        assert model.write_bandwidth(4 * KIB) == pytest.approx(20.0 * MIB)
+
+    def test_peak_is_asymptote(self):
+        model = PerformanceModel(peak_write_mib_s=40.0)
+        assert model.write_bandwidth(64 * MIB) < 40.0 * MIB
+
+    def test_reads_default_faster_than_writes(self):
+        model = PerformanceModel(peak_write_mib_s=40.0)
+        assert model.peak_read_mib_s == pytest.approx(60.0)
+
+
+class TestDurations:
+    def test_duration_inverse_of_bandwidth(self):
+        model = PerformanceModel(peak_write_mib_s=40.0, write_half_size=4 * KIB)
+        d = model.write_duration(20 * MIB, 4 * KIB)
+        assert d == pytest.approx(20 * MIB / (20.0 * MIB))
+
+    def test_media_ratio_slows_writes(self):
+        """GC/RMW work divides host throughput (§4.3's WA effect)."""
+        model = PerformanceModel(peak_write_mib_s=40.0)
+        base = model.write_duration(MIB, 4 * KIB, media_ratio=1.0)
+        assert model.write_duration(MIB, 4 * KIB, media_ratio=2.0) == pytest.approx(2 * base)
+
+    def test_ratio_below_one_never_speeds_up(self):
+        model = PerformanceModel(peak_write_mib_s=40.0)
+        base = model.write_duration(MIB, 4 * KIB, media_ratio=1.0)
+        assert model.write_duration(MIB, 4 * KIB, media_ratio=0.5) == pytest.approx(base)
+
+    def test_read_duration(self):
+        model = PerformanceModel(peak_write_mib_s=40.0, peak_read_mib_s=80.0, read_half_size=4 * KIB)
+        assert model.read_duration(40 * MIB, 4 * KIB) == pytest.approx(1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"peak_write_mib_s": 0.0},
+            {"peak_write_mib_s": 10, "write_half_size": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(**kwargs)
+
+    def test_rejects_nonpositive_request(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(peak_write_mib_s=10).write_bandwidth(0)

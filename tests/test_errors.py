@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AppKilledError,
+    ConfigurationError,
+    DeviceBricked,
+    DeviceError,
+    DeviceWornOut,
+    OutOfSpaceError,
+    PermissionDenied,
+    ReadOnlyError,
+    ReproError,
+    UncorrectableError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            OutOfSpaceError,
+            DeviceError,
+            UncorrectableError,
+            DeviceWornOut,
+            DeviceBricked,
+            ReadOnlyError,
+            PermissionDenied,
+            AppKilledError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc", [UncorrectableError, DeviceWornOut, DeviceBricked, ReadOnlyError]
+    )
+    def test_device_failures_are_device_errors(self, exc):
+        assert issubclass(exc, DeviceError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise DeviceWornOut("spares exhausted")
+
+
+class TestUncorrectableError:
+    def test_carries_ppn(self):
+        err = UncorrectableError(ppn=1234)
+        assert err.ppn == 1234
+        assert "1234" in str(err)
+
+    def test_custom_message(self):
+        err = UncorrectableError(ppn=5, message="boom")
+        assert str(err) == "boom"

@@ -1,0 +1,73 @@
+"""Tests for the raw bit-error-rate model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash import BerModel
+
+
+class TestRber:
+    def test_fresh_block_at_baseline(self):
+        model = BerModel()
+        assert model.rber(0, endurance=3000) == pytest.approx(model.baseline)
+
+    def test_monotone_in_wear(self):
+        model = BerModel()
+        cycles = np.arange(0, 6000, 500)
+        rber = model.rber(cycles, endurance=3000)
+        assert (np.diff(rber) > 0).all()
+
+    def test_superlinear_growth(self):
+        """Doubling wear should much more than double the wear term."""
+        model = BerModel()
+        low = model.rber(1500, 3000) - model.baseline
+        high = model.rber(3000, 3000) - model.baseline
+        assert high > 4 * low
+
+    def test_retention_adds_errors(self):
+        model = BerModel()
+        assert model.rber(1000, 3000, retention_days=30) > model.rber(1000, 3000)
+
+    def test_scalar_in_scalar_out(self):
+        model = BerModel()
+        assert isinstance(model.rber(100, 3000), float)
+
+    def test_array_in_array_out(self):
+        model = BerModel()
+        out = model.rber(np.array([0, 100]), 3000)
+        assert out.shape == (2,)
+
+    def test_rejects_bad_endurance(self):
+        with pytest.raises(ConfigurationError):
+            BerModel().rber(100, endurance=0)
+
+
+class TestInversion:
+    def test_cycles_at_rber_roundtrip(self):
+        model = BerModel()
+        cycles = model.cycles_at_rber(1e-4, endurance=3000)
+        assert model.rber(cycles, 3000) == pytest.approx(1e-4, rel=1e-6)
+
+    def test_below_baseline_is_zero(self):
+        model = BerModel()
+        assert model.cycles_at_rber(model.baseline / 2, 3000) == 0.0
+
+    def test_retirement_beyond_nominal_endurance(self):
+        """Default parameters retire blocks *after* nominal endurance,
+        so the indicator reaches 11 before the device dies (§4.3)."""
+        from repro.flash import EccConfig
+
+        model = BerModel()
+        limit = EccConfig().max_tolerable_rber()
+        assert model.cycles_at_rber(limit, 3000) > 3000
+
+
+class TestValidation:
+    def test_rejects_sublinear_exponent(self):
+        with pytest.raises(ConfigurationError):
+            BerModel(wear_exponent=0.5)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            BerModel(wear_coefficient=0.0)

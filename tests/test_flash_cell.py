@@ -1,0 +1,53 @@
+"""Tests for flash cell types and endurance specs (§2.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash import CELL_SPECS, CellSpec, CellType
+
+
+class TestCellType:
+    def test_bits_per_cell(self):
+        assert CellType.SLC.bits_per_cell == 1
+        assert CellType.MLC.bits_per_cell == 2
+        assert CellType.TLC.bits_per_cell == 3
+
+
+class TestCellSpecs:
+    def test_denser_cells_have_lower_endurance(self):
+        """§2.1: SLC ~100K cycles, MLC 3-10K, TLC as low as 1K."""
+        assert (
+            CELL_SPECS[CellType.SLC].endurance
+            > CELL_SPECS[CellType.MLC].endurance
+            > CELL_SPECS[CellType.TLC].endurance
+        )
+
+    def test_paper_endurance_bands(self):
+        assert CELL_SPECS[CellType.SLC].endurance == 100_000
+        assert 3_000 <= CELL_SPECS[CellType.MLC].endurance <= 10_000
+        assert CELL_SPECS[CellType.TLC].endurance <= 3_000
+
+    def test_voltage_levels(self):
+        assert CELL_SPECS[CellType.SLC].voltage_levels == 2
+        assert CELL_SPECS[CellType.MLC].voltage_levels == 4
+        assert CELL_SPECS[CellType.TLC].voltage_levels == 8
+
+    def test_denser_cells_are_slower(self):
+        assert CELL_SPECS[CellType.SLC].program_us < CELL_SPECS[CellType.TLC].program_us
+
+
+class TestDerated:
+    def test_derated_changes_only_endurance(self):
+        base = CELL_SPECS[CellType.MLC]
+        derated = base.derated(2_500)
+        assert derated.endurance == 2_500
+        assert derated.cell_type is base.cell_type
+        assert derated.read_us == base.read_us
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            CELL_SPECS[CellType.MLC].derated(0)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigurationError):
+            CellSpec(CellType.SLC, endurance=1000, read_us=0, program_us=1, erase_us=1)

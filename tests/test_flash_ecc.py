@@ -1,0 +1,62 @@
+"""Tests for the ECC correction budget."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash import EccConfig
+
+
+class TestCodewordFailure:
+    def test_zero_rber_never_fails(self):
+        assert EccConfig().codeword_failure_probability(0.0) == 0.0
+
+    def test_certain_failure_at_rber_one(self):
+        assert EccConfig().codeword_failure_probability(1.0) == 1.0
+
+    def test_monotone_in_rber(self):
+        ecc = EccConfig()
+        probs = [ecc.codeword_failure_probability(p) for p in (1e-6, 1e-5, 1e-4, 1e-3)]
+        assert probs == sorted(probs)
+
+    def test_tiny_rber_is_negligible(self):
+        ecc = EccConfig()
+        assert ecc.codeword_failure_probability(1e-8) < 1e-20
+
+    def test_stronger_code_tolerates_more(self):
+        weak = EccConfig(correctable_bits=8)
+        strong = EccConfig(correctable_bits=72)
+        rber = 5e-4
+        assert strong.codeword_failure_probability(rber) < weak.codeword_failure_probability(rber)
+
+
+class TestMaxTolerableRber:
+    def test_threshold_is_consistent(self):
+        ecc = EccConfig()
+        limit = ecc.max_tolerable_rber()
+        assert ecc.codeword_failure_probability(limit * 0.9) <= ecc.uber_limit
+        assert ecc.codeword_failure_probability(limit * 1.2) > ecc.uber_limit
+
+    def test_threshold_scales_with_strength(self):
+        weak = EccConfig(correctable_bits=8).max_tolerable_rber()
+        strong = EccConfig(correctable_bits=72).max_tolerable_rber()
+        assert strong > weak
+
+    def test_threshold_order_of_magnitude(self):
+        """A 40-bit/8KiB code tolerates RBER around 1e-4..1e-3."""
+        limit = EccConfig().max_tolerable_rber()
+        assert 1e-5 < limit < 1e-2
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"codeword_bits": 0},
+            {"correctable_bits": 0},
+            {"uber_limit": 0.0},
+            {"uber_limit": 1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EccConfig(**kwargs)

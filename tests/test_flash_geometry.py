@@ -1,0 +1,58 @@
+"""Tests for repro.flash.geometry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash import FlashGeometry
+from repro.units import KIB, MIB
+
+
+class TestFlashGeometry:
+    def test_derived_sizes(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=64, num_blocks=128)
+        assert geom.block_size == 256 * KIB
+        assert geom.total_pages == 64 * 128
+        assert geom.capacity_bytes == 32 * MIB
+
+    def test_defaults_are_valid(self):
+        geom = FlashGeometry()
+        assert geom.capacity_bytes > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"page_size": 0},
+            {"page_size": 1000},  # not a multiple of 512
+            {"pages_per_block": 0},
+            {"num_blocks": 0},
+            {"num_parallel_units": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FlashGeometry(**kwargs)
+
+    def test_frozen(self):
+        geom = FlashGeometry()
+        with pytest.raises(Exception):
+            geom.num_blocks = 5
+
+
+class TestScaled:
+    def test_divides_blocks(self):
+        geom = FlashGeometry(num_blocks=1024)
+        assert geom.scaled(4).num_blocks == 256
+
+    def test_preserves_page_and_block_shape(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=64, num_blocks=1024)
+        scaled = geom.scaled(8)
+        assert scaled.page_size == geom.page_size
+        assert scaled.pages_per_block == geom.pages_per_block
+
+    def test_floor_of_eight_blocks(self):
+        geom = FlashGeometry(num_blocks=16)
+        assert geom.scaled(1000).num_blocks == 8
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ConfigurationError):
+            FlashGeometry().scaled(0)

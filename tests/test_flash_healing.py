@@ -1,0 +1,66 @@
+"""Tests for the charge-detrapping (healing) model (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash import HealingModel
+from repro.units import DAY
+
+
+class TestDecay:
+    def test_no_time_no_decay(self):
+        model = HealingModel()
+        assert model.decay_factor(0.0) == pytest.approx(1.0)
+
+    def test_one_time_constant(self):
+        model = HealingModel(time_constant_days=10)
+        assert model.decay_factor(10 * DAY) == pytest.approx(np.exp(-1), rel=1e-9)
+
+    def test_monotone_decay(self):
+        model = HealingModel()
+        f1 = model.decay_factor(30 * DAY)
+        f2 = model.decay_factor(180 * DAY)
+        assert 0 < f2 < f1 < 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HealingModel().decay_factor(-1.0)
+
+
+class TestHeatAcceleration:
+    def test_reference_temperature_is_unity(self):
+        model = HealingModel()
+        assert model.acceleration(model.reference_temp_c) == pytest.approx(1.0)
+
+    def test_heat_accelerates(self):
+        """§2.2: applying heat accelerates freeing trapped electrons."""
+        model = HealingModel()
+        assert model.acceleration(125.0) > model.acceleration(25.0)
+
+    def test_hot_decay_is_faster(self):
+        model = HealingModel()
+        assert model.decay_factor(DAY, temp_c=125.0) < model.decay_factor(DAY, temp_c=25.0)
+
+
+class TestHealArray:
+    def test_heal_scales_recoverable_wear(self):
+        model = HealingModel(time_constant_days=1)
+        wear = np.array([10.0, 20.0])
+        healed = model.heal(wear, DAY)
+        assert healed == pytest.approx(wear * np.exp(-1))
+
+    def test_disabled_model(self):
+        model = HealingModel.none()
+        assert model.disabled
+        assert model.recoverable_fraction == 0.0
+
+
+class TestValidation:
+    def test_rejects_full_recoverable(self):
+        with pytest.raises(ConfigurationError):
+            HealingModel(recoverable_fraction=1.0)
+
+    def test_rejects_nonaccelerating_factor(self):
+        with pytest.raises(ConfigurationError):
+            HealingModel(activation_factor=1.0)

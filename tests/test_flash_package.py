@@ -1,0 +1,134 @@
+"""Tests for FlashPackage wear accounting and retirement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeviceWornOut
+from repro.flash import CELL_SPECS, CellType, FlashGeometry, FlashPackage, HealingModel
+from repro.units import KIB
+
+
+@pytest.fixture
+def package():
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=32)
+    return FlashPackage(geom, seed=1)
+
+
+class TestWearAccounting:
+    def test_fresh_package_has_zero_wear(self, package):
+        assert package.pe_counts.sum() == 0
+        assert package.mean_wear_fraction() == 0.0
+
+    def test_erase_increments_pe(self, package):
+        package.erase_blocks(np.array([0, 1, 2]))
+        pe = package.pe_counts
+        assert pe[0] == pytest.approx(1.0)
+        assert pe[3] == 0.0
+
+    def test_repeated_erase_accumulates(self, package):
+        for _ in range(5):
+            package.erase_blocks(np.array([7]))
+        assert package.pe_counts[7] == pytest.approx(5.0)
+
+    def test_counters_track_operations(self, package):
+        package.erase_blocks(np.array([0]))
+        package.record_page_programs(100)
+        package.record_page_reads(50)
+        assert package.counters.block_erases == 1
+        assert package.counters.page_programs == 100
+        assert package.counters.page_reads == 50
+        assert package.counters.bytes_programmed(4096) == 409600
+
+    def test_mean_wear_fraction(self, package):
+        for _ in range(30):
+            package.erase_blocks(np.arange(32))
+        expected = 30 / package.cell_spec.endurance
+        assert package.mean_wear_fraction() == pytest.approx(expected)
+
+    def test_rejects_out_of_range_block(self, package):
+        with pytest.raises(ConfigurationError):
+            package.erase_blocks(np.array([999]))
+
+    def test_rejects_negative_counts(self, package):
+        with pytest.raises(ConfigurationError):
+            package.record_page_programs(-1)
+
+
+class TestRetirement:
+    def test_blocks_go_bad_past_cycle_limit(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        spec = CELL_SPECS[CellType.MLC].derated(10)  # tiny endurance
+        pkg = FlashPackage(geom, cell_spec=spec, endurance_sigma=0.0, seed=1)
+        limit = pkg.cycle_limits()[0]
+        went_bad = False
+        for _ in range(int(limit) + 2):
+            newly = pkg.erase_blocks(np.array([0]))
+            if newly[0]:
+                went_bad = True
+                break
+        assert went_bad
+        assert pkg.num_bad_blocks == 1
+        assert pkg.bad_blocks[0]
+
+    def test_erasing_bad_block_raises(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        spec = CELL_SPECS[CellType.MLC].derated(2)
+        pkg = FlashPackage(geom, cell_spec=spec, endurance_sigma=0.0, seed=1)
+        for _ in range(100):
+            if pkg.erase_blocks(np.array([0]))[0]:
+                break
+        with pytest.raises(DeviceWornOut):
+            pkg.erase_blocks(np.array([0]))
+
+    def test_endurance_variation_spreads_limits(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=256)
+        pkg = FlashPackage(geom, endurance_sigma=0.1, seed=1)
+        limits = pkg.cycle_limits()
+        assert limits.std() > 0
+        pkg_flat = FlashPackage(geom, endurance_sigma=0.0, seed=1)
+        assert pkg_flat.cycle_limits().std() < 1e-6
+
+
+class TestHealing:
+    def test_idle_heals_recoverable_wear(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        pkg = FlashPackage(geom, healing=HealingModel(recoverable_fraction=0.5, time_constant_days=1), seed=1)
+        pkg.erase_blocks(np.array([0]))
+        before = pkg.pe_counts[0]
+        pkg.idle(86400.0 * 10)
+        after = pkg.pe_counts[0]
+        assert after < before
+        # Permanent damage never heals.
+        assert after >= 0.5
+
+    def test_disabled_healing_is_noop(self, package):
+        package.erase_blocks(np.array([0]))
+        before = package.pe_counts[0]
+        package.idle(86400.0 * 1000)
+        assert package.pe_counts[0] == before
+
+    def test_anneal_can_resurrect_blocks(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        spec = CELL_SPECS[CellType.MLC].derated(10)
+        pkg = FlashPackage(
+            geom,
+            cell_spec=spec,
+            healing=HealingModel(recoverable_fraction=0.6, time_constant_days=1),
+            endurance_sigma=0.0,
+            seed=1,
+        )
+        while not pkg.bad_blocks[0]:
+            pkg.erase_blocks(np.array([0]))
+        pkg.anneal(temp_c=250.0, duration_seconds=86400.0 * 30)
+        assert not pkg.bad_blocks[0]
+
+
+class TestReliabilityQueries:
+    def test_rber_grows_with_block_wear(self, package):
+        for _ in range(2000):
+            package.erase_blocks(np.array([0]))
+        rber = package.rber()
+        assert rber[0] > rber[1]
+
+    def test_uncorrectable_probability_fresh_is_zero(self, package):
+        assert package.uncorrectable_probability(0) < 1e-20

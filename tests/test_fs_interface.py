@@ -1,0 +1,149 @@
+"""Tests for the FileSystem base: files, extents, page cache."""
+
+import numpy as np
+import pytest
+
+from repro.devices import PerformanceModel, build_device
+from repro.devices.interface import BlockDevice
+from repro.errors import ConfigurationError, OutOfSpaceError
+from repro.flash import FlashGeometry, FlashPackage
+from repro.fs import Ext4Model, make_filesystem
+from repro.ftl import PageMappedFTL
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def fs():
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=96)
+    pkg = FlashPackage(geom, seed=9)
+    ftl = PageMappedFTL(pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.85), seed=9)
+    device = BlockDevice("fs-dev", ftl, PerformanceModel(peak_write_mib_s=40.0))
+    return Ext4Model(device)
+
+
+class TestNamespace:
+    def test_create_file_allocates_extent(self, fs):
+        f = fs.create_file("a", 64 * KIB)
+        assert f.size == 64 * KIB
+        assert f.extent_start >= fs.metadata_reserve
+
+    def test_extents_do_not_overlap(self, fs):
+        a = fs.create_file("a", 64 * KIB)
+        b = fs.create_file("b", 64 * KIB)
+        assert b.extent_start >= a.extent_start + a.size
+
+    def test_extents_are_page_aligned(self, fs):
+        a = fs.create_file("a", 5000)  # odd size
+        b = fs.create_file("b", 4 * KIB)
+        assert a.extent_start % fs.page_size == 0
+        assert b.extent_start % fs.page_size == 0
+
+    def test_duplicate_name_rejected(self, fs):
+        fs.create_file("a", KIB * 4)
+        with pytest.raises(ConfigurationError):
+            fs.create_file("a", KIB * 4)
+
+    def test_out_of_space(self, fs):
+        with pytest.raises(OutOfSpaceError):
+            fs.create_file("big", fs.device.logical_capacity * 2)
+
+    def test_delete_trims_extent(self, fs):
+        f = fs.create_file("a", 64 * KIB)
+        fs.write(f, 0, 64 * KIB)
+        fs.delete_file("a")
+        assert "a" not in fs.files
+
+    def test_utilization_tracks_allocation(self, fs):
+        before = fs.utilization()
+        fs.create_file("a", MIB)
+        assert fs.utilization() > before
+
+
+class TestSyncWrites:
+    def test_write_returns_duration(self, fs):
+        f = fs.create_file("a", 64 * KIB)
+        assert fs.write(f, 0, 4 * KIB) > 0
+
+    def test_write_beyond_eof_rejected(self, fs):
+        f = fs.create_file("a", 8 * KIB)
+        with pytest.raises(ConfigurationError):
+            fs.write(f, 4 * KIB, 8 * KIB)
+
+    def test_write_requests_batch(self, fs):
+        f = fs.create_file("a", 256 * KIB)
+        d = fs.write_requests(f, np.arange(8) * 4 * KIB, 4 * KIB)
+        assert d > 0
+        assert fs.app_bytes_written == 8 * 4 * KIB
+
+    def test_write_pages_helper(self, fs):
+        f = fs.create_file("a", 256 * KIB)
+        fs.write_pages(f, np.array([0, 3, 7]))
+        assert fs.app_bytes_written == 3 * 4 * KIB
+
+    def test_page_index_outside_file_rejected(self, fs):
+        f = fs.create_file("a", 8 * KIB)
+        with pytest.raises(ConfigurationError):
+            fs.write_pages(f, np.array([99]))
+
+
+class TestBufferedWrites:
+    def test_buffered_write_defers_io(self, fs):
+        f = fs.create_file("a", 256 * KIB)
+        d = fs.write(f, 0, 4 * KIB, sync=False)
+        assert d == 0.0
+        assert fs.device.host_bytes_written == 0
+
+    def test_fsync_flushes_dirty_pages(self, fs):
+        f = fs.create_file("a", 256 * KIB)
+        fs.write(f, 0, 16 * KIB, sync=False)
+        d = fs.fsync(f)
+        assert d > 0
+        assert fs.device.host_bytes_written >= 16 * KIB
+
+    def test_fsync_idempotent(self, fs):
+        f = fs.create_file("a", 256 * KIB)
+        fs.write(f, 0, 4 * KIB, sync=False)
+        fs.fsync(f)
+        assert fs.fsync(f) == 0.0
+
+    def test_dirty_threshold_triggers_writeback(self, fs):
+        fs.dirty_flush_pages = 8
+        f = fs.create_file("a", 256 * KIB)
+        total = 0.0
+        for i in range(10):
+            total += fs.write(f, i * 4 * KIB, 4 * KIB, sync=False)
+        assert total > 0  # the threshold flush happened
+        assert fs.device.host_bytes_written > 0
+
+    def test_sync_all_covers_all_files(self, fs):
+        a = fs.create_file("a", 64 * KIB)
+        b = fs.create_file("b", 64 * KIB)
+        fs.write(a, 0, 4 * KIB, sync=False)
+        fs.write(b, 0, 4 * KIB, sync=False)
+        fs.sync_all()
+        assert fs.device.host_bytes_written >= 8 * KIB
+
+
+class TestReads:
+    def test_read_goes_to_device(self, fs):
+        f = fs.create_file("a", 64 * KIB)
+        fs.write(f, 0, 4 * KIB)
+        assert fs.read(f, 0, 4 * KIB) > 0
+
+    def test_read_beyond_eof_rejected(self, fs):
+        f = fs.create_file("a", 8 * KIB)
+        with pytest.raises(ConfigurationError):
+            fs.read(f, 0, 64 * KIB)
+
+
+class TestFactory:
+    def test_make_filesystem(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        assert make_filesystem("ext4", dev).name == "ext4"
+        dev2 = build_device("emmc-8gb", scale=256, seed=1)
+        assert make_filesystem("f2fs", dev2).name == "f2fs"
+
+    def test_unknown_kind(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        with pytest.raises(ValueError):
+            make_filesystem("ntfs", dev)

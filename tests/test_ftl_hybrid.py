@@ -1,0 +1,157 @@
+"""Tests for the hybrid Type A / Type B FTL (Table 1 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash import CELL_SPECS, CellType, FlashGeometry, FlashPackage
+from repro.ftl import HybridFTL
+from repro.units import KIB, MIB
+
+
+def make_hybrid(merge_utilization: float = 0.8, unit_pages: int = 1) -> HybridFTL:
+    geom_a = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=32)  # 2 MiB
+    geom_b = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=96)  # 12 MiB
+    pkg_a = FlashPackage(geom_a, cell_spec=CELL_SPECS[CellType.SLC].derated(20_000), seed=2)
+    pkg_b = FlashPackage(geom_b, seed=2)
+    return HybridFTL(
+        pkg_a,
+        pkg_b,
+        logical_capacity_bytes=10 * MIB,
+        hot_window_bytes=512 * KIB,
+        staging_bytes=512 * KIB,
+        merge_utilization=merge_utilization,
+        mapping_unit_pages=unit_pages,
+        seed=2,
+    )
+
+
+class TestConstruction:
+    def test_rejects_window_bigger_than_space(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=32)
+        pkg_a, pkg_b = FlashPackage(geom, seed=1), FlashPackage(geom, seed=1)
+        with pytest.raises(ConfigurationError):
+            HybridFTL(pkg_a, pkg_b, logical_capacity_bytes=MIB, hot_window_bytes=2 * MIB)
+
+    def test_rejects_bad_merge_threshold(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=64)
+        pkg_a, pkg_b = FlashPackage(geom, seed=1), FlashPackage(geom, seed=1)
+        with pytest.raises(ConfigurationError):
+            HybridFTL(
+                pkg_a, pkg_b, logical_capacity_bytes=4 * MIB,
+                hot_window_bytes=512 * KIB, merge_utilization=0.0,
+            )
+
+
+class TestRouting:
+    def test_window_writes_land_on_pool_a(self):
+        hy = make_hybrid()
+        hy.write_requests(np.array([0, 4 * KIB]), 4 * KIB)
+        assert hy.pool_a.stats.host_pages_requested == 2
+        assert hy.pool_b.stats.host_pages_requested == 0
+
+    def test_high_lba_writes_land_on_pool_b(self):
+        hy = make_hybrid()
+        hy.write_requests(np.array([2 * MIB]), 4 * KIB)
+        assert hy.pool_b.stats.host_pages_requested == 1
+        assert hy.pool_a.stats.host_pages_requested == 0
+
+    def test_mixed_batch_splits(self):
+        hy = make_hybrid()
+        offsets = np.array([0, 1 * MIB, 4 * KIB, 2 * MIB])
+        hy.write_requests(offsets, 4 * KIB)
+        assert hy.pool_a.stats.host_pages_requested == 2
+        assert hy.pool_b.stats.host_pages_requested == 2
+        assert hy.host_pages_requested == 4
+
+    def test_reads_route_by_window(self):
+        hy = make_hybrid()
+        hy.write_requests(np.array([0, 2 * MIB]), 4 * KIB)
+        hy.read_requests(np.array([0, 2 * MIB]), 4 * KIB)
+        assert hy.pool_a.stats.pages_read >= 1
+        assert hy.pool_b.stats.pages_read >= 1
+
+    def test_trim_routes_by_window(self):
+        hy = make_hybrid()
+        hy.write_requests(np.array([0, 2 * MIB]), 4 * KIB)
+        hy.trim_pages(0, (3 * MIB) // (4 * KIB))
+        assert (hy.pool_a._l2p < 0).all()
+
+
+class TestMergedMode:
+    def fill_pool_b(self, hy: HybridFTL, fraction: float) -> None:
+        cap = hy.logical_capacity_bytes - hy.hot_window_bytes
+        step = 64 * KIB
+        offsets = np.arange(hy.hot_window_bytes, hy.hot_window_bytes + int(cap * fraction), step)
+        hy.write_requests(offsets, step)
+
+    def test_fresh_device_not_merged(self):
+        assert not make_hybrid().merged_mode
+
+    def test_merge_triggers_at_utilization(self):
+        hy = make_hybrid(merge_utilization=0.5)
+        self.fill_pool_b(hy, 0.6)
+        assert hy.merged_mode
+
+    def test_merged_mode_stages_through_a(self):
+        hy = make_hybrid(merge_utilization=0.5)
+        self.fill_pool_b(hy, 0.6)
+        a_before = hy.pool_a.media_pages_programmed
+        offsets = np.full(500, 2 * MIB) + np.arange(500) * 4 * KIB
+        hy.write_requests(offsets, 4 * KIB)
+        assert hy.pool_a.media_pages_programmed > a_before
+        assert hy.pool_a.stats.migration_pages > 0
+
+    def test_pool_a_wears_much_faster_when_merged(self):
+        """Table 1: Type A levels advance ~27x faster once merged."""
+        normal = make_hybrid(merge_utilization=0.99)  # never merges
+        merged = make_hybrid(merge_utilization=0.3)
+        for hy in (normal, merged):
+            self.fill_pool_b(hy, 0.55)
+            rng = np.random.default_rng(1)
+            for _ in range(10):
+                offsets = (
+                    hy.hot_window_bytes
+                    + rng.integers(0, 1000, size=2000) * 4 * KIB
+                )
+                hy.write_requests(offsets, 4 * KIB)
+        assert merged.pool_a.life_used() > 5 * normal.pool_a.life_used()
+
+    def test_pool_b_wear_rate_unchanged_by_merge(self):
+        """Table 1: Type B volumes stay ~constant through merged phases."""
+        normal = make_hybrid(merge_utilization=0.99)
+        merged = make_hybrid(merge_utilization=0.3)
+        results = {}
+        for name, hy in (("normal", normal), ("merged", merged)):
+            self.fill_pool_b(hy, 0.55)
+            start = hy.pool_b.life_used()
+            rng = np.random.default_rng(1)
+            for _ in range(10):
+                offsets = hy.hot_window_bytes + rng.integers(0, 1000, size=2000) * 4 * KIB
+                hy.write_requests(offsets, 4 * KIB)
+            results[name] = hy.pool_b.life_used() - start
+        assert results["merged"] == pytest.approx(results["normal"], rel=0.25)
+
+
+class TestHealthReporting:
+    def test_two_indicators(self):
+        hy = make_hybrid()
+        inds = hy.wear_indicators()
+        assert set(inds) == {"A", "B"}
+
+    def test_primary_indicator_is_pool_b(self):
+        hy = make_hybrid()
+        assert hy.wear_indicator().level == hy.pool_b.wear_indicator().level
+
+    def test_combined_stats_sum_pools(self):
+        hy = make_hybrid()
+        hy.write_requests(np.array([0, 2 * MIB]), 4 * KIB)
+        assert hy.stats.host_pages_requested == 2
+        assert hy.media_pages_programmed == (
+            hy.pool_a.media_pages_programmed + hy.pool_b.media_pages_programmed
+        )
+
+    def test_read_only_when_either_pool_dies(self):
+        hy = make_hybrid()
+        hy.pool_a.read_only = True
+        assert hy.read_only

@@ -1,0 +1,104 @@
+"""Tests for GC victim selection and wear-leveling policies."""
+
+import numpy as np
+import pytest
+
+from repro.ftl.gc import CostBenefitVictimPolicy, GreedyVictimPolicy
+from repro.ftl.wear_leveling import (
+    WearLevelingConfig,
+    pick_cold_victim,
+    pick_free_block,
+    wear_gap_exceeds,
+)
+
+
+class TestGreedy:
+    def test_picks_fewest_valid(self):
+        policy = GreedyVictimPolicy()
+        mask = np.array([True, True, True])
+        valid = np.array([5, 2, 9])
+        pe = np.zeros(3)
+        assert policy.select(mask, valid, pe, 16) == 1
+
+    def test_respects_candidate_mask(self):
+        policy = GreedyVictimPolicy()
+        mask = np.array([False, True, True])
+        valid = np.array([0, 2, 9])
+        pe = np.zeros(3)
+        assert policy.select(mask, valid, pe, 16) == 1
+
+    def test_no_candidates_returns_none(self):
+        policy = GreedyVictimPolicy()
+        assert policy.select(np.zeros(3, dtype=bool), np.zeros(3), np.zeros(3), 16) is None
+
+    def test_ties_break_toward_least_worn(self):
+        """Index-order tie-breaking would hammer low block numbers."""
+        policy = GreedyVictimPolicy()
+        mask = np.array([True, True, True])
+        valid = np.array([0, 0, 0])
+        pe = np.array([50.0, 10.0, 30.0])
+        assert policy.select(mask, valid, pe, 16) == 1
+
+    def test_wear_tiebreak_never_overrides_valid_count(self):
+        policy = GreedyVictimPolicy()
+        mask = np.array([True, True])
+        valid = np.array([1, 2])
+        pe = np.array([1e6, 0.0])
+        assert policy.select(mask, valid, pe, 16) == 0
+
+
+class TestCostBenefit:
+    def test_prefers_emptier_blocks(self):
+        policy = CostBenefitVictimPolicy()
+        mask = np.array([True, True])
+        valid = np.array([2, 14])
+        pe = np.array([1.0, 1.0])
+        assert policy.select(mask, valid, pe, 16) == 0
+
+    def test_no_candidates_returns_none(self):
+        policy = CostBenefitVictimPolicy()
+        assert policy.select(np.zeros(2, dtype=bool), np.zeros(2), np.zeros(2), 16) is None
+
+
+class TestDynamicWearLeveling:
+    def test_picks_least_worn_free_block(self):
+        pe = np.array([9.0, 1.0, 5.0])
+        assert pick_free_block([0, 1, 2], pe, dynamic=True) == 1
+
+    def test_fifo_when_disabled(self):
+        pe = np.array([9.0, 1.0, 5.0])
+        assert pick_free_block([0, 1, 2], pe, dynamic=False) == 0
+
+    def test_empty_free_list_raises(self):
+        with pytest.raises(ValueError):
+            pick_free_block([], np.zeros(1), dynamic=True)
+
+
+class TestStaticWearLeveling:
+    def test_cold_victim_is_least_worn_with_data(self):
+        mask = np.array([True, True, True])
+        pe = np.array([1.0, 5.0, 0.5])
+        valid = np.array([4, 4, 0])  # block 2 has no data
+        assert pick_cold_victim(mask, pe, valid) == 0
+
+    def test_no_data_no_victim(self):
+        mask = np.array([True, True])
+        assert pick_cold_victim(mask, np.zeros(2), np.zeros(2, dtype=int)) is None
+
+    def test_wear_gap(self):
+        pe = np.array([0.0, 200.0])
+        good = np.array([True, True])
+        assert wear_gap_exceeds(pe, good, threshold=128)
+        assert not wear_gap_exceeds(pe, good, threshold=256)
+
+    def test_gap_ignores_bad_blocks(self):
+        pe = np.array([0.0, 10_000.0])
+        good = np.array([True, False])
+        assert not wear_gap_exceeds(pe, good, threshold=128)
+
+
+class TestConfig:
+    def test_disabled_turns_everything_off(self):
+        cfg = WearLevelingConfig.disabled()
+        assert not cfg.dynamic
+        assert not cfg.static_enabled

@@ -1,0 +1,60 @@
+"""Tests for FTL statistics / write-amplification accounting."""
+
+import pytest
+
+from repro.ftl import FtlStats
+
+
+class TestWriteAmplification:
+    def test_fresh_stats_report_unity(self):
+        assert FtlStats().write_amplification == 1.0
+
+    def test_host_only_is_unity(self):
+        stats = FtlStats(host_pages_requested=100, host_pages_programmed=100)
+        assert stats.write_amplification == 1.0
+
+    def test_rmw_doubles(self):
+        stats = FtlStats(
+            host_pages_requested=100, host_pages_programmed=100, rmw_pages_programmed=100
+        )
+        assert stats.write_amplification == 2.0
+
+    def test_all_sources_counted(self):
+        stats = FtlStats(
+            host_pages_requested=100,
+            host_pages_programmed=100,
+            rmw_pages_programmed=50,
+            gc_pages_copied=30,
+            wl_pages_copied=10,
+            migration_pages=10,
+        )
+        assert stats.total_pages_programmed == 200
+        assert stats.write_amplification == 2.0
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_window(self):
+        stats = FtlStats(host_pages_requested=100, host_pages_programmed=100)
+        snap = stats.snapshot()
+        stats.host_pages_requested += 50
+        stats.gc_pages_copied += 20
+        delta = stats.delta(snap)
+        assert delta.host_pages_requested == 50
+        assert delta.gc_pages_copied == 20
+        assert snap.host_pages_requested == 100
+
+    def test_snapshot_is_independent_copy(self):
+        stats = FtlStats()
+        snap = stats.snapshot()
+        stats.blocks_erased = 7
+        assert snap.blocks_erased == 0
+
+
+class TestMerged:
+    def test_merged_with_sums_fields(self):
+        a = FtlStats(host_pages_requested=10, gc_pages_copied=5)
+        b = FtlStats(host_pages_requested=20, wl_pages_copied=3)
+        merged = a.merged_with(b)
+        assert merged.host_pages_requested == 30
+        assert merged.gc_pages_copied == 5
+        assert merged.wl_pages_copied == 3

@@ -1,0 +1,66 @@
+"""Tests for the JEDEC-style wear indicator (§4.3)."""
+
+import pytest
+
+from repro.ftl import PreEolState, WearIndicator, wear_level
+
+
+class TestWearLevel:
+    @pytest.mark.parametrize(
+        "fraction,level",
+        [
+            (0.0, 1),
+            (0.05, 1),
+            (0.10, 2),
+            (0.15, 2),
+            (0.55, 6),
+            (0.999, 10),
+            (1.0, 11),
+            (2.5, 11),
+        ],
+    )
+    def test_paper_semantics(self, fraction, level):
+        """Value n means (n-1)*10% ~ n*10% of lifetime consumed; 11
+        means the estimated lifetime was exceeded."""
+        assert wear_level(fraction) == level
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wear_level(-0.1)
+
+    def test_every_band_maps_to_its_level(self):
+        for level in range(1, 11):
+            mid = (level - 1) / 10 + 0.05
+            assert wear_level(mid) == level
+
+
+class TestPreEol:
+    def test_normal_below_80(self):
+        assert PreEolState.from_spare_consumption(0.5) is PreEolState.NORMAL
+
+    def test_warning_at_80(self):
+        assert PreEolState.from_spare_consumption(0.8) is PreEolState.WARNING
+
+    def test_urgent_at_90(self):
+        assert PreEolState.from_spare_consumption(0.95) is PreEolState.URGENT
+
+
+class TestWearIndicator:
+    def test_exceeded_only_at_11(self):
+        ok = WearIndicator(level=10, life_used=0.95, pre_eol=PreEolState.NORMAL)
+        dead = WearIndicator(level=11, life_used=1.05, pre_eol=PreEolState.URGENT)
+        assert not ok.exceeded
+        assert dead.exceeded
+
+    def test_describe_mentions_band(self):
+        ind = WearIndicator(level=3, life_used=0.25, pre_eol=PreEolState.NORMAL)
+        assert "20%-30%" in ind.describe()
+
+    def test_describe_exceeded(self):
+        ind = WearIndicator(level=11, life_used=1.2, pre_eol=PreEolState.URGENT)
+        assert "exceeded" in ind.describe()
+
+    def test_unsupported_indicator(self):
+        """The paper's BLU phones did not report reliable indicators."""
+        ind = WearIndicator(level=1, life_used=0.0, pre_eol=PreEolState.NORMAL, supported=False)
+        assert "not supported" in ind.describe()

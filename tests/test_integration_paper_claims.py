@@ -1,0 +1,117 @@
+"""End-to-end checks of the paper's headline claims (scaled devices).
+
+Each test reproduces one quantitative claim from §4.3/§4.4 in miniature
+and checks the *shape* — who wins, by what rough factor — holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare
+from repro.core import WearOutExperiment, estimate_lifetime
+from repro.devices import build_device
+from repro.fs import Ext4Model, F2fsModel
+from repro.units import GB, GIB, KIB, TIB
+from repro.workloads import FileRewriteWorkload
+
+
+SCALE = 256
+
+
+def run_increments(key, fs_cls, until_level=2, seed=7):
+    dev = build_device(key, scale=SCALE, seed=seed)
+    fs = fs_cls(dev)
+    wl = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=seed)
+    exp = WearOutExperiment(dev, wl, filesystem=fs)
+    result = exp.run(until_level=until_level)
+    return dev, result
+
+
+@pytest.fixture(scope="module")
+def emmc8_result():
+    return run_increments("emmc-8gb", Ext4Model)
+
+
+@pytest.fixture(scope="module")
+def moto_results():
+    return {
+        "ext4": run_increments("moto-e-8gb", Ext4Model)[1],
+        "f2fs": run_increments("moto-e-8gb", F2fsModel)[1],
+    }
+
+
+class TestFigure2Claims:
+    def test_emmc8_gib_per_increment(self, emmc8_result):
+        """§4.3: 'a maximum of 992GiB to increment the wear-out level'."""
+        _, result = emmc8_result
+        rec = result.increments[0]
+        assert compare("emmc8-gib-per-increment", rec.host_gib).within_band
+
+    def test_emmc8_projected_eol_hours(self, emmc8_result):
+        """§4.3: full end of life in ~140 hours at ~20 MiB/s."""
+        _, result = emmc8_result
+        rec = result.increments[0]
+        projected_eol_hours = rec.hours * 10
+        assert compare("emmc8-eol-hours", projected_eol_hours).within_band
+
+    def test_volume_constant_across_lifetime(self, emmc8_result):
+        """Figure 2: 'the required I/O volume is mostly constant
+        throughout the lifetime of the devices.'"""
+        dev, _ = emmc8_result
+        fs = Ext4Model(build_device("emmc-8gb", scale=SCALE, seed=9))
+        wl = FileRewriteWorkload(fs, num_files=4, seed=9)
+        result = WearOutExperiment(fs.device, wl, filesystem=fs).run(until_level=5)
+        volumes = [rec.host_gib for rec in result.increments]
+        assert max(volumes) / min(volumes) < 1.15
+
+
+class TestBackOfEnvelopeGap:
+    def test_measured_is_roughly_3x_below_estimate(self, emmc8_result):
+        """§4.3: 'roughly three times lower than the back-of-the-envelope
+        three thousand or more complete rewrites.'"""
+        _, result = emmc8_result
+        estimate = estimate_lifetime(8 * GB, endurance=3000)
+        projected_total = result.increments[0].host_bytes * 10
+        gap = estimate.total_write_bytes / projected_total
+        assert compare("back-of-envelope-gap", gap).within_band
+
+
+class TestFigure4Claims:
+    def test_f2fs_needs_half_the_app_volume(self, moto_results):
+        """§4.4 / Figure 4."""
+        ext4 = moto_results["ext4"].increments[0].app_gib
+        f2fs = moto_results["f2fs"].increments[0].app_gib
+        assert compare("f2fs-volume-ratio", f2fs / ext4).within_band
+
+    def test_f2fs_takes_longer_despite_less_volume(self, moto_results):
+        """Figure 3: the F2FS phone needs *more* time per increment."""
+        assert (
+            moto_results["f2fs"].increments[0].hours
+            > moto_results["ext4"].increments[0].hours
+        )
+
+    def test_device_level_volume_identical(self, moto_results):
+        """Same chip: device-level bytes per increment match across FSes."""
+        ext4 = moto_results["ext4"].increments[0].host_gib
+        f2fs = moto_results["f2fs"].increments[0].host_gib
+        assert f2fs == pytest.approx(ext4, rel=0.1)
+
+
+class TestFigure3Claims:
+    def test_increment_times_are_hours_to_days(self, emmc8_result, moto_results):
+        """Figure 3: increments take tens of hours; EOL lands in days to
+        weeks across devices."""
+        for result in (emmc8_result[1], moto_results["ext4"], moto_results["f2fs"]):
+            hours = result.increments[0].hours
+            assert 2 < hours < 100
+
+
+class TestAttackFootprint:
+    def test_under_3_percent_on_16gb_and_up(self):
+        """§1: the attack touches <3% of capacity.  (Four 100 MB files
+        are 2.5% of 16 GB and 1.25% of 32 GB; on the small 8 GB phone
+        the same footprint is 5% — still a sliver.)"""
+        working_set = 4 * 100e6
+        for key, cap in (("emmc-16gb", 16e9), ("samsung-s6-32gb", 32e9)):
+            assert working_set / cap < 0.03
+        assert working_set / 8e9 < 0.06

@@ -1,0 +1,38 @@
+"""Scaling-invariance tests (DESIGN.md §6).
+
+The benchmark harness runs capacity-scaled devices and multiplies
+volumes back up.  These tests verify the invariance claim: per-increment
+full-scale volumes agree across different scale factors.
+"""
+
+import pytest
+
+from repro.core import WearOutExperiment
+from repro.devices import build_device
+from repro.fs import Ext4Model
+from repro.units import GIB, KIB
+from repro.workloads import FileRewriteWorkload
+
+
+def first_increment(scale: int, seed: int = 7):
+    dev = build_device("emmc-8gb", scale=scale, seed=seed)
+    fs = Ext4Model(dev)
+    wl = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=seed)
+    return WearOutExperiment(dev, wl, filesystem=fs).run(until_level=2).increments[0]
+
+
+class TestScaleInvariance:
+    def test_volume_invariant_across_scales(self):
+        rec_a = first_increment(scale=128)
+        rec_b = first_increment(scale=512)
+        assert rec_a.host_gib == pytest.approx(rec_b.host_gib, rel=0.10)
+
+    def test_time_invariant_across_scales(self):
+        rec_a = first_increment(scale=128)
+        rec_b = first_increment(scale=512)
+        assert rec_a.hours == pytest.approx(rec_b.hours, rel=0.10)
+
+    def test_reported_volumes_are_full_scale(self):
+        """A scaled 8GB chip still reports ~1 TiB per increment."""
+        rec = first_increment(scale=512)
+        assert 0.5 * 1024 < rec.host_gib < 2 * 1024

@@ -1,0 +1,64 @@
+"""Tests for per-app I/O accounting (§4.5 mitigation 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigations import IoAccountant
+from repro.units import GIB, HOUR, MIB
+
+
+class TestRecording:
+    def test_totals_accumulate(self):
+        acc = IoAccountant()
+        acc.record_write("app", 10 * MIB, 2560, t_seconds=0.0)
+        acc.record_write("app", 10 * MIB, 2560, t_seconds=60.0)
+        rec = acc.record_of("app")
+        assert rec.bytes_written == 20 * MIB
+        assert rec.write_requests == 5120
+        assert rec.mean_request_bytes == pytest.approx(4096)
+
+    def test_reads_tracked_separately(self):
+        acc = IoAccountant()
+        acc.record_read("app", 5 * MIB, t_seconds=0.0)
+        assert acc.record_of("app").bytes_read == 5 * MIB
+        assert acc.record_of("app").bytes_written == 0
+
+    def test_write_rate(self):
+        acc = IoAccountant()
+        acc.record_write("app", GIB, 1, t_seconds=0.0)
+        acc.record_write("app", GIB, 1, t_seconds=2 * HOUR)
+        assert acc.record_of("app").write_rate_bytes_per_hour() == pytest.approx(GIB)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            IoAccountant().record_write("app", -1, 0, 0.0)
+
+
+class TestUsageView:
+    def test_top_writers_ranked(self):
+        """'Users can then locate applications which are issuing an
+        unexpected amount of I/O.'"""
+        acc = IoAccountant()
+        acc.record_write("attack", 100 * GIB, 1, 0.0)
+        acc.record_write("messenger", 10 * MIB, 1, 0.0)
+        acc.record_write("camera", GIB, 1, 0.0)
+        top = acc.top_writers(count=2)
+        assert [r.app_name for r in top] == ["attack", "camera"]
+
+    def test_total_across_apps(self):
+        acc = IoAccountant()
+        acc.record_write("a", MIB, 1, 0.0)
+        acc.record_write("b", MIB, 1, 0.0)
+        assert acc.total_bytes_written() == 2 * MIB
+
+    def test_usage_table_rows(self):
+        acc = IoAccountant()
+        acc.record_write("a", GIB, 1, 0.0)
+        rows = acc.usage_table()
+        assert rows[0][0] == "a"
+        assert rows[0][1] == pytest.approx(1.0)
+
+    def test_fresh_mean_request_size_zero(self):
+        acc = IoAccountant()
+        acc.record_read("a", MIB, 0.0)
+        assert acc.record_of("a").mean_request_bytes == 0.0

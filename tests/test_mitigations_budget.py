@@ -1,0 +1,84 @@
+"""Tests for the selective lifetime-budget policy (§4.5 / §6)."""
+
+import pytest
+
+from repro.devices import build_device
+from repro.errors import ConfigurationError
+from repro.mitigations import AppIoFeatures, LifetimeBudgetPolicy
+from repro.units import GIB, KIB, MIB
+
+ATTACK = AppIoFeatures(
+    bytes_per_hour=53 * GIB, mean_request_bytes=4 * KIB,
+    overwrite_ratio=130.0, active_fraction=0.95,
+)
+BENIGN = AppIoFeatures(
+    bytes_per_hour=8 * MIB, mean_request_bytes=8 * KIB,
+    overwrite_ratio=1.1, active_fraction=0.3,
+)
+
+
+@pytest.fixture
+def policy():
+    dev = build_device("emmc-8gb", scale=256, seed=1)
+    return LifetimeBudgetPolicy(dev, endurance=2450, expected_apps=20)
+
+
+class TestClassificationGate:
+    def test_benign_apps_never_delayed(self, policy):
+        policy.reclassify("messenger", BENIGN)
+        for i in range(100):
+            assert policy.admit("messenger", 8 * MIB, float(i)) == 0.0
+
+    def test_malicious_apps_get_bucketed(self, policy):
+        assert policy.reclassify("attack", ATTACK)
+        delay = 0.0
+        for i in range(30):
+            delay += policy.admit("attack", 15 * MIB, float(i))
+        assert delay > 0
+        assert policy.state_of("attack").bytes_delayed > 0
+
+    def test_reclassifying_benign_lifts_throttle(self, policy):
+        policy.reclassify("app", ATTACK)
+        assert policy.state_of("app").bucket is not None
+        policy.reclassify("app", BENIGN)
+        assert policy.state_of("app").bucket is None
+
+    def test_malicious_rate_clamped_to_fair_share(self, policy):
+        policy.reclassify("attack", ATTACK)
+        # Drain the burst, then measure sustained admission.
+        t = 0.0
+        admitted = 0
+        chunk = MIB
+        while t < 3600.0:
+            delay = policy.admit("attack", chunk, t)
+            if delay == 0.0:
+                admitted += chunk
+                t += 0.1
+            else:
+                t += delay
+        sustained = admitted / 3600.0
+        assert sustained <= policy.per_app_rate * 2  # within 2x of share
+
+    def test_projected_lifetime(self, policy):
+        days = policy.projected_lifetime_days(policy.budget.bytes_per_day)
+        assert days == pytest.approx(policy.budget.target_days)
+        assert policy.projected_lifetime_days(0) == float("inf")
+
+    def test_rejects_zero_apps(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        with pytest.raises(ConfigurationError):
+            LifetimeBudgetPolicy(dev, endurance=2450, expected_apps=0)
+
+
+class TestEndToEndContrast:
+    def test_attack_clamped_benign_burst_untouched(self, policy):
+        """The §4.5 'more refined approach': selective throttling."""
+        policy.reclassify("attack", ATTACK)
+        policy.reclassify("file-transfer", AppIoFeatures(
+            bytes_per_hour=4 * GIB, mean_request_bytes=8 * MIB,
+            overwrite_ratio=1.0, active_fraction=0.08,
+        ))
+        burst_delay = policy.admit("file-transfer", 500 * MIB, 0.0)
+        attack_delay = sum(policy.admit("attack", 15 * MIB, float(i)) for i in range(20))
+        assert burst_delay == 0.0
+        assert attack_delay > 0.0

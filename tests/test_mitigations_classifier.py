@@ -1,0 +1,90 @@
+"""Tests for the benign/malicious I/O classifier (§4.5 mitigation 4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mitigations import AppIoFeatures, IoPatternClassifier
+from repro.units import GIB, KIB, MIB
+from repro.workloads.traces import BENIGN_TRACES, attack_trace, spotify_bug_trace
+
+
+def features_from_trace(trace, overwrite_ratio: float, active_fraction: float) -> AppIoFeatures:
+    return AppIoFeatures(
+        bytes_per_hour=trace.mean_bytes_per_hour,
+        mean_request_bytes=trace.request_bytes,
+        overwrite_ratio=overwrite_ratio,
+        active_fraction=active_fraction,
+    )
+
+
+ATTACK_FEATURES = AppIoFeatures(
+    # 15 MiB/s sustained = ~53 GiB/hour of 4 KiB rewrites of 400 MB.
+    bytes_per_hour=53 * GIB,
+    mean_request_bytes=4 * KIB,
+    overwrite_ratio=130.0,
+    active_fraction=0.95,
+)
+
+
+class TestClassifier:
+    def test_attack_is_malicious(self):
+        assert IoPatternClassifier().is_malicious(ATTACK_FEATURES)
+
+    def test_every_benign_profile_passes(self):
+        """§4.5: 'without affecting the performance of normal
+        applications' — no false positives on the roster."""
+        clf = IoPatternClassifier()
+        for name, trace in BENIGN_TRACES.items():
+            feats = features_from_trace(
+                trace,
+                overwrite_ratio=1.2,
+                active_fraction=min(1.0, 1.0 / trace.burstiness),
+            )
+            assert not clf.is_malicious(feats), name
+
+    def test_bursty_file_transfer_passes_despite_volume(self):
+        """A file transfer writes fresh data in bursts — high volume
+        alone must not condemn it."""
+        clf = IoPatternClassifier()
+        burst = AppIoFeatures(
+            bytes_per_hour=4 * GIB,  # heavy burst hour
+            mean_request_bytes=8 * MIB,
+            overwrite_ratio=1.0,
+            active_fraction=0.1,
+        )
+        assert not clf.is_malicious(burst)
+
+    def test_spotify_bug_is_flagged(self):
+        """The Spotify bug wrote tens of GiB/day of *rewrites*; a
+        pattern-based policy should catch it even though the app is
+        nominally benign."""
+        clf = IoPatternClassifier()
+        bug = features_from_trace(spotify_bug_trace(), overwrite_ratio=40.0, active_fraction=0.9)
+        assert clf.is_malicious(bug)
+
+    def test_attack_scores_higher_than_all_benign(self):
+        clf = IoPatternClassifier()
+        attack_score = clf.score(ATTACK_FEATURES)
+        for trace in BENIGN_TRACES.values():
+            feats = features_from_trace(trace, 1.2, min(1.0, 1.0 / trace.burstiness))
+            assert attack_score > clf.score(feats)
+
+    def test_score_monotone_in_churn(self):
+        clf = IoPatternClassifier()
+        low = AppIoFeatures(GIB, 4 * KIB, overwrite_ratio=2.0, active_fraction=0.5)
+        high = AppIoFeatures(GIB, 4 * KIB, overwrite_ratio=50.0, active_fraction=0.5)
+        assert clf.score(high) > clf.score(low)
+
+
+class TestValidation:
+    def test_rejects_negative_features(self):
+        with pytest.raises(ConfigurationError):
+            AppIoFeatures(-1, 4096, 1.0, 0.5)
+
+    def test_rejects_bad_active_fraction(self):
+        with pytest.raises(ConfigurationError):
+            AppIoFeatures(1, 4096, 1.0, 1.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            IoPatternClassifier(threshold=0.0)

@@ -1,0 +1,93 @@
+"""Tests for lifespan-targeted rate limiting (§4.5 mitigation 3)."""
+
+import pytest
+
+from repro.devices import build_device
+from repro.errors import ConfigurationError
+from repro.mitigations import LifespanRateLimiter, TokenBucket
+from repro.units import DAY, GIB, MIB
+
+
+class TestTokenBucket:
+    def test_burst_admitted_without_delay(self):
+        bucket = TokenBucket(rate_bytes_per_s=MIB, burst_bytes=10 * MIB)
+        assert bucket.admit(5 * MIB, 0.0) == 0.0
+
+    def test_overdraft_delays(self):
+        bucket = TokenBucket(rate_bytes_per_s=MIB, burst_bytes=MIB)
+        bucket.admit(MIB, 0.0)
+        delay = bucket.admit(2 * MIB, 0.0)
+        assert delay == pytest.approx(2.0)
+
+    def test_tokens_refill_over_time(self):
+        bucket = TokenBucket(rate_bytes_per_s=MIB, burst_bytes=2 * MIB)
+        bucket.admit(2 * MIB, 0.0)
+        assert bucket.available(1.0) == pytest.approx(MIB)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_bytes_per_s=MIB, burst_bytes=2 * MIB)
+        assert bucket.available(100.0) == 2 * MIB
+
+    def test_time_cannot_reverse(self):
+        bucket = TokenBucket(MIB, MIB)
+        bucket.admit(1, 10.0)
+        with pytest.raises(ConfigurationError):
+            bucket.admit(1, 5.0)
+
+    def test_long_run_rate_is_enforced(self):
+        bucket = TokenBucket(rate_bytes_per_s=MIB, burst_bytes=MIB)
+        total_delay = 0.0
+        for i in range(100):
+            total_delay += bucket.admit(2 * MIB, float(i))
+        # 200 MiB admitted over ~100s wall at 1 MiB/s -> ~100s of delay.
+        assert total_delay > 90.0
+
+
+class TestLifespanRateLimiter:
+    def test_budget_derivation(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        limiter = LifespanRateLimiter(dev, endurance=2450, target_days=3 * 365, assumed_wa=2.5)
+        expected_total = dev.logical_capacity * dev.scale * 2450 / 2.5
+        assert limiter.budget.total_write_bytes == pytest.approx(expected_total)
+        assert limiter.budget.bytes_per_second == pytest.approx(expected_total / (3 * 365 * DAY))
+
+    def test_attack_rate_gets_throttled(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        limiter = LifespanRateLimiter(dev, endurance=2450)
+        # The attack wants ~15 MiB/s; the budget allows ~0.07 MiB/s.
+        delay = 0.0
+        for i in range(60):
+            delay += limiter.admit(15 * MIB, float(i))
+        assert delay > 1000
+        assert limiter.throttled_bytes > 0
+
+    def test_benign_rate_unthrottled(self):
+        """A messenger's few MiB/hour fits comfortably in the budget."""
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        limiter = LifespanRateLimiter(dev, endurance=2450)
+        for hour in range(24):
+            assert limiter.admit(8 * MIB, hour * 3600.0) == 0.0
+
+    def test_guaranteed_lifetime_math(self):
+        """Admitted volume over any horizon can't exceed budget + burst,
+        so the device provably reaches its target lifetime."""
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        limiter = LifespanRateLimiter(dev, endurance=2450, target_days=1000)
+        daily_budget = limiter.budget.bytes_per_day
+        # Greedy writer for a simulated day, at most burst+rate admitted.
+        admitted = 0.0
+        t = 0.0
+        chunk = 64 * MIB
+        while t < DAY:
+            delay = limiter.bucket.admit(chunk, t)
+            t += max(delay, 1.0)
+            if delay == 0.0:
+                admitted += chunk
+        assert admitted <= daily_budget + limiter.bucket.burst + chunk
+
+    def test_rejects_invalid_params(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        with pytest.raises(ConfigurationError):
+            LifespanRateLimiter(dev, endurance=0)
+        with pytest.raises(ConfigurationError):
+            LifespanRateLimiter(dev, endurance=100, assumed_wa=0.5)

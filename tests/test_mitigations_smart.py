@@ -1,0 +1,74 @@
+"""Tests for wear-indicator exposure (§4.5 mitigation 1)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.devices import DEVICE_SPECS, build_device
+from repro.errors import ConfigurationError
+from repro.mitigations import WearMonitor
+from repro.units import KIB
+
+
+def worn_device(endurance=100):
+    spec = dataclasses.replace(DEVICE_SPECS["emmc-8gb"], endurance=endurance)
+    return spec.build(scale=256, seed=8)
+
+
+class TestWearMonitor:
+    def test_no_alerts_on_fresh_device(self):
+        dev = build_device("emmc-8gb", scale=256, seed=8)
+        mon = WearMonitor(dev)
+        assert mon.poll() == []
+
+    def test_alert_on_level_change(self):
+        dev = worn_device()
+        mon = WearMonitor(dev)
+        rng = np.random.default_rng(0)
+        alerts = []
+        for i in range(300):
+            offs = rng.integers(0, 2000, size=2000) * 4 * KIB
+            dev.write_many(offs, 4 * KIB)
+            alerts.extend(mon.poll(t_seconds=float(i)))
+            if alerts:
+                break
+        assert alerts
+        assert alerts[0].level == 2
+        assert alerts[0].severity == "notice"
+
+    def test_severity_escalates(self):
+        dev = worn_device(endurance=40)
+        mon = WearMonitor(dev, warning_level=3, critical_level=5)
+        rng = np.random.default_rng(0)
+        severities = []
+        for i in range(2000):
+            offs = rng.integers(0, 2000, size=2000) * 4 * KIB
+            dev.write_many(offs, 4 * KIB)
+            severities.extend(a.severity for a in mon.poll(t_seconds=float(i)))
+            if "critical" in severities:
+                break
+        assert "warning" in severities
+        assert "critical" in severities
+
+    def test_unsupported_devices_stay_silent(self):
+        """BLU-style devices without indicators can't alert the user —
+        exactly the gap the paper warns about."""
+        dev = build_device("blu-512mb", scale=8, seed=8)
+        mon = WearMonitor(dev)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            offs = rng.integers(0, 1000, size=2000) * 4 * KIB
+            dev.write_many(offs, 4 * KIB)
+        assert mon.poll() == []
+        assert mon.estimated_remaining_fraction() is None
+
+    def test_remaining_fraction(self):
+        dev = build_device("emmc-8gb", scale=256, seed=8)
+        mon = WearMonitor(dev)
+        assert mon.estimated_remaining_fraction() == pytest.approx(1.0)
+
+    def test_rejects_inverted_thresholds(self):
+        dev = build_device("emmc-8gb", scale=256, seed=8)
+        with pytest.raises(ConfigurationError):
+            WearMonitor(dev, warning_level=10, critical_level=9)

@@ -1,0 +1,114 @@
+"""Property-based conservation invariants across FTL variants.
+
+Whatever the translation scheme — page-mapped, coarse-unit, hybrid
+two-pool, or log-block — certain conservation laws must hold under any
+workload: media programs are never fewer than host pages, wear only
+ever increases, and block accounting never loses a block.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flash import CELL_SPECS, CellType, FlashGeometry, FlashPackage
+from repro.ftl import HybridFTL, LogBlockFTL, PageMappedFTL
+from repro.units import KIB, MIB
+
+
+def page_mapped(unit_pages: int):
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=48)
+    pkg = FlashPackage(geom, seed=13)
+    return PageMappedFTL(
+        pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.8),
+        mapping_unit_pages=unit_pages, seed=13,
+    )
+
+
+def log_block():
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=48)
+    pkg = FlashPackage(geom, seed=13)
+    return LogBlockFTL(pkg, logical_capacity_bytes=38 * geom.block_size)
+
+
+def hybrid():
+    geom_a = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=24)
+    geom_b = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=64)
+    pkg_a = FlashPackage(geom_a, cell_spec=CELL_SPECS[CellType.SLC].derated(20_000), seed=13)
+    pkg_b = FlashPackage(geom_b, seed=13)
+    return HybridFTL(
+        pkg_a, pkg_b, logical_capacity_bytes=3 * MIB,
+        hot_window_bytes=256 * KIB, staging_bytes=256 * KIB, seed=13,
+    )
+
+
+FACTORIES = {
+    "page": lambda: page_mapped(1),
+    "coarse": lambda: page_mapped(4),
+    "hybrid": hybrid,
+    "logblock": log_block,
+}
+
+write_batches = st.lists(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=60),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestConservation:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(batches=write_batches, kind=st.sampled_from(sorted(FACTORIES)))
+    def test_media_work_and_wear_monotone(self, batches, kind):
+        ftl = FACTORIES[kind]()
+        page = 4 * KIB
+        max_slot = ftl.logical_capacity_bytes // page - 1
+        host_pages = 0
+        last_programs = 0
+        last_life = 0.0
+        for batch in batches:
+            offsets = (np.array(batch, dtype=np.int64) % (max_slot + 1)) * page
+            ftl.write_requests(offsets, page)
+            host_pages += offsets.size
+
+            programs = ftl.media_pages_programmed
+            # Media never does less work than the host asked for, and
+            # counters never run backwards.
+            assert programs >= host_pages
+            assert programs >= last_programs
+            last_programs = programs
+
+            life = ftl.life_used()
+            assert life >= last_life
+            last_life = life
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(batches=write_batches)
+    def test_hybrid_pool_block_conservation(self, batches):
+        hy = hybrid()
+        page = 4 * KIB
+        max_slot = hy.logical_capacity_bytes // page - 1
+        for batch in batches:
+            offsets = (np.array(batch, dtype=np.int64) % (max_slot + 1)) * page
+            hy.write_requests(offsets, page)
+            for pool in (hy.pool_a, hy.pool_b):
+                free = len(pool._free_blocks)
+                closed = int(pool._closed.sum())
+                active = int(pool._active_block is not None)
+                bad = pool.package.num_bad_blocks
+                assert free + closed + active + bad == pool.geometry.num_blocks
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(batches=write_batches)
+    def test_logblock_block_conservation(self, batches):
+        ftl = log_block()
+        page = 4 * KIB
+        max_slot = ftl.logical_capacity_bytes // page - 1
+        for batch in batches:
+            offsets = (np.array(batch, dtype=np.int64) % (max_slot + 1)) * page
+            ftl.write_requests(offsets, page)
+            mapped_data = int((ftl._data_map >= 0).sum())
+            logs = len(ftl._log_contents)
+            free = len(ftl._free_blocks)
+            bad = ftl.package.num_bad_blocks
+            assert mapped_data + logs + free + bad == ftl.geometry.num_blocks

@@ -1,0 +1,44 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.rng import DEFAULT_SEED, make_rng, optional_seed, substream
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).integers(0, 1000, size=10)
+        b = make_rng(7).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1000, size=5)
+        b = make_rng(DEFAULT_SEED).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+
+class TestSubstream:
+    def test_labels_produce_independent_streams(self):
+        a = substream(7, "gc").integers(0, 10**6, size=8)
+        b = substream(7, "workload").integers(0, 10**6, size=8)
+        assert not (a == b).all()
+
+    def test_deterministic_per_label(self):
+        a = substream(7, "gc").integers(0, 10**6, size=8)
+        b = substream(7, "gc").integers(0, 10**6, size=8)
+        assert (a == b).all()
+
+
+class TestOptionalSeed:
+    def test_int_roundtrip(self):
+        assert optional_seed(9) == 9
+
+    def test_generator_has_no_seed(self):
+        assert optional_seed(np.random.default_rng(1)) is None
+
+    def test_none_becomes_default(self):
+        assert optional_seed(None) == DEFAULT_SEED

@@ -1,0 +1,86 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    DAY,
+    GIB,
+    HOUR,
+    KIB,
+    MIB,
+    TIB,
+    format_duration,
+    format_size,
+    mib_per_s,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_progression(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+        assert TIB == 1024 * GIB
+
+    def test_time_progression(self):
+        assert HOUR == 60 * 60
+        assert DAY == 24 * HOUR
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4KiB", 4096),
+            ("0.5KiB", 512),
+            ("1MiB", MIB),
+            ("2 GiB", 2 * GIB),
+            ("1TiB", TIB),
+            ("100MB", 100_000_000),
+            ("8GB", 8_000_000_000),
+            ("512", 512),
+            ("512b", 512),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_case_insensitive(self):
+        assert parse_size("4kib") == parse_size("4KIB") == 4096
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+
+class TestFormatSize:
+    def test_picks_binary_suffix(self):
+        assert format_size(4096) == "4.00 KiB"
+        assert format_size(3 * GIB) == "3.00 GiB"
+        assert format_size(2 * TIB) == "2.00 TiB"
+
+    def test_small_values_in_bytes(self):
+        assert format_size(100) == "100 B"
+
+    def test_precision(self):
+        assert format_size(1536, precision=1) == "1.5 KiB"
+
+
+class TestFormatDuration:
+    def test_hours(self):
+        assert format_duration(2 * HOUR) == "2.00 h"
+
+    def test_minutes(self):
+        assert format_duration(90) == "1.50 min"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.50 s"
+
+
+class TestThroughput:
+    def test_mib_per_s(self):
+        assert mib_per_s(10 * MIB, 2.0) == pytest.approx(5.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            mib_per_s(MIB, 0.0)

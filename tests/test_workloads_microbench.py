@@ -1,0 +1,63 @@
+"""Tests for the Figure 1 bandwidth micro-benchmark."""
+
+import pytest
+
+from repro.devices import build_device
+from repro.errors import ConfigurationError
+from repro.units import KIB, MIB
+from repro.workloads import measure_bandwidth, sweep_block_sizes
+from repro.workloads.microbench import FIGURE1_BLOCK_SIZES
+
+
+class TestMeasureBandwidth:
+    def test_returns_point_with_positive_bandwidth(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        point = measure_bandwidth(dev, 4 * KIB, pattern="seq")
+        assert point.mib_per_s > 0
+        assert point.device_name == "eMMC 8GB"
+        assert point.pattern == "seq"
+
+    def test_bandwidth_grows_with_request_size(self):
+        """§4.2: 'eMMC write I/O throughput generally scales linearly
+        until it plateaus.'"""
+        bws = []
+        for size in (4 * KIB, 64 * KIB, MIB):
+            dev = build_device("emmc-8gb", scale=256, seed=1)
+            bws.append(measure_bandwidth(dev, size, pattern="seq").mib_per_s)
+        assert bws == sorted(bws)
+
+    def test_usd_random_collapse(self):
+        """Figure 1b: the uSD card collapses on small random writes."""
+        dev_r = build_device("usd-16gb", scale=256, seed=1)
+        dev_s = build_device("usd-16gb", scale=256, seed=1)
+        rand = measure_bandwidth(dev_r, 4 * KIB, pattern="rand", seed=1).mib_per_s
+        seq = measure_bandwidth(dev_s, 256 * KIB, pattern="seq").mib_per_s
+        assert rand < seq / 10
+
+    def test_emmc_random_close_to_sequential_at_large_sizes(self):
+        """§4.2: 'eMMC chips perform similarly for random and sequential
+        access patterns' (once requests cover mapping units)."""
+        dev_r = build_device("emmc-8gb", scale=256, seed=1)
+        dev_s = build_device("emmc-8gb", scale=256, seed=1)
+        rand = measure_bandwidth(dev_r, 256 * KIB, pattern="rand", seed=1).mib_per_s
+        seq = measure_bandwidth(dev_s, 256 * KIB, pattern="seq").mib_per_s
+        assert rand == pytest.approx(seq, rel=0.3)
+
+    def test_unknown_pattern_rejected(self):
+        dev = build_device("emmc-8gb", scale=256, seed=1)
+        with pytest.raises(ConfigurationError):
+            measure_bandwidth(dev, 4 * KIB, pattern="zigzag")
+
+
+class TestSweep:
+    def test_sweep_covers_requested_sizes(self):
+        sizes = [4 * KIB, 64 * KIB]
+        points = sweep_block_sizes(
+            lambda: build_device("emmc-8gb", scale=256, seed=1), "seq", sizes=sizes
+        )
+        assert [p.request_bytes for p in points] == sizes
+
+    def test_figure1_axis_shape(self):
+        assert FIGURE1_BLOCK_SIZES[0] == 512
+        assert FIGURE1_BLOCK_SIZES[-1] == 16 * MIB
+        assert len(FIGURE1_BLOCK_SIZES) == 6

@@ -1,0 +1,52 @@
+"""Tests for address pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import KIB, MIB
+from repro.workloads import RandomPattern, SequentialPattern
+
+
+class TestRandomPattern:
+    def test_offsets_aligned_and_bounded(self):
+        gen = RandomPattern(MIB, 4 * KIB, seed=1)
+        offs = gen.next_batch(1000)
+        assert (offs % (4 * KIB) == 0).all()
+        assert offs.min() >= 0
+        assert offs.max() + 4 * KIB <= MIB
+
+    def test_deterministic_per_seed(self):
+        a = RandomPattern(MIB, 4 * KIB, seed=3).next_batch(100)
+        b = RandomPattern(MIB, 4 * KIB, seed=3).next_batch(100)
+        assert (a == b).all()
+
+    def test_covers_region(self):
+        gen = RandomPattern(64 * KIB, 4 * KIB, seed=1)  # 16 slots
+        offs = gen.next_batch(2000)
+        assert len(np.unique(offs)) == 16
+
+    def test_rejects_tiny_region(self):
+        with pytest.raises(ConfigurationError):
+            RandomPattern(KIB, 4 * KIB)
+
+
+class TestSequentialPattern:
+    def test_sequential_then_wraps(self):
+        gen = SequentialPattern(16 * KIB, 4 * KIB)  # 4 slots
+        offs = gen.next_batch(6)
+        assert offs.tolist() == [0, 4096, 8192, 12288, 0, 4096]
+
+    def test_cursor_persists_across_batches(self):
+        gen = SequentialPattern(MIB, 4 * KIB)
+        first = gen.next_batch(3)
+        second = gen.next_batch(3)
+        assert second[0] == first[-1] + 4 * KIB
+
+    def test_start_offset(self):
+        gen = SequentialPattern(MIB, 4 * KIB, start=8 * KIB)
+        assert gen.next_batch(1)[0] == 8 * KIB
+
+    def test_rejects_tiny_region(self):
+        with pytest.raises(ConfigurationError):
+            SequentialPattern(KIB, 4 * KIB)

@@ -1,0 +1,61 @@
+"""Tests for the benign/malicious app trace roster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB
+from repro.workloads.traces import AppTrace, BENIGN_TRACES, attack_trace, spotify_bug_trace
+
+
+class TestRoster:
+    def test_expected_profiles_exist(self):
+        assert {"messenger", "camera", "file-transfer", "music-cache"} <= set(BENIGN_TRACES)
+
+    def test_benign_traces_labelled_benign(self):
+        assert not any(t.malicious for t in BENIGN_TRACES.values())
+
+    def test_attack_trace_is_malicious_and_huge(self):
+        attack = attack_trace()
+        assert attack.malicious
+        daily = attack.mean_bytes_per_hour * 24
+        benign_daily = max(t.mean_bytes_per_hour for t in BENIGN_TRACES.values()) * 24
+        assert daily > 50 * benign_daily
+
+    def test_spotify_bug_is_benign_but_pathological(self):
+        """[26]: a benign app writing pathological volumes."""
+        bug = spotify_bug_trace()
+        assert not bug.malicious
+        assert bug.mean_bytes_per_hour > 10 * BENIGN_TRACES["camera"].mean_bytes_per_hour
+
+
+class TestSampling:
+    def test_deterministic_per_seed(self):
+        trace = BENIGN_TRACES["messenger"]
+        assert trace.sample_hour(seed=5) == trace.sample_hour(seed=5)
+
+    def test_steady_trace_always_active(self):
+        trace = BENIGN_TRACES["messenger"]  # burstiness 1.0
+        for seed in range(10):
+            count, _ = trace.sample_hour(seed=seed)
+            assert count > 0
+
+    def test_bursty_trace_mostly_idle(self):
+        trace = BENIGN_TRACES["file-transfer"]  # burstiness 12
+        active = sum(1 for seed in range(120) if trace.sample_hour(seed=seed)[0] > 0)
+        assert active < 40
+
+    def test_burst_volume_compensates_idleness(self):
+        trace = BENIGN_TRACES["file-transfer"]
+        volumes = [trace.sample_hour(seed=s)[0] * trace.request_bytes for s in range(400)]
+        mean = sum(volumes) / len(volumes)
+        assert mean == pytest.approx(trace.mean_bytes_per_hour, rel=0.5)
+
+
+class TestValidation:
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ConfigurationError):
+            AppTrace("x", mean_bytes_per_hour=-1, request_bytes=4096)
+
+    def test_rejects_sub_one_burstiness(self):
+        with pytest.raises(ConfigurationError):
+            AppTrace("x", mean_bytes_per_hour=MIB, request_bytes=4096, burstiness=0.5)

@@ -1,0 +1,92 @@
+"""Tests for the file-rewrite wear-out workload (§4.3/§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import build_device
+from repro.errors import ConfigurationError
+from repro.fs import Ext4Model
+from repro.units import KIB, MIB
+from repro.workloads import FileRewriteWorkload, fill_static_space
+
+
+@pytest.fixture
+def fs():
+    return Ext4Model(build_device("emmc-16gb", scale=256, seed=4))
+
+
+class TestFileRewriteWorkload:
+    def test_creates_four_scaled_files(self, fs):
+        wl = FileRewriteWorkload(fs, num_files=4, seed=1)
+        assert len(wl.files) == 4
+        scale = fs.device.scale
+        for f in wl.files:
+            assert f.size == pytest.approx(100e6 / scale, rel=0.05)
+
+    def test_footprint_under_3_percent(self, fs):
+        """§1: the attack uses <3% of storage capacity."""
+        wl = FileRewriteWorkload(fs, num_files=4, seed=1)
+        footprint = sum(f.size for f in wl.files)
+        assert footprint / fs.device.logical_capacity < 0.03
+
+    def test_step_returns_duration_and_volume(self, fs):
+        wl = FileRewriteWorkload(fs, batch_requests=128, seed=1)
+        duration, app_bytes = wl.step()
+        assert duration > 0
+        assert app_bytes == 128 * 4 * KIB
+
+    def test_round_robin_over_files(self, fs):
+        wl = FileRewriteWorkload(fs, num_files=2, batch_requests=16, seed=1)
+        wl.step()
+        first_host = fs.device.host_bytes_written
+        wl.step()
+        assert fs.device.host_bytes_written > first_host
+
+    def test_description_labels(self, fs):
+        wl = FileRewriteWorkload(fs, request_bytes=4 * KIB, pattern="rand", seed=1)
+        assert wl.description == "4 KiB rand"
+        wl2 = FileRewriteWorkload(
+            fs, request_bytes=128 * KIB, pattern="seq",
+            target_files=wl.files, seed=1,
+        )
+        assert wl2.description == "128 KiB seq"
+
+    def test_sequential_pattern_cycles(self, fs):
+        wl = FileRewriteWorkload(fs, num_files=1, pattern="seq", batch_requests=8, seed=1)
+        wl.step()
+        wl.step()  # must wrap without error on small files
+
+    def test_target_files_reuse_existing(self, fs):
+        static = fill_static_space(fs, 0.3)
+        wl = FileRewriteWorkload(fs, target_files=static[:1], seed=1)
+        assert wl.files == static[:1]
+
+    def test_rejects_unknown_pattern(self, fs):
+        with pytest.raises(ConfigurationError):
+            FileRewriteWorkload(fs, pattern="spiral", seed=1)
+
+    def test_rejects_empty_targets(self, fs):
+        with pytest.raises(ConfigurationError):
+            FileRewriteWorkload(fs, target_files=[], seed=1)
+
+
+class TestFillStaticSpace:
+    def test_reaches_requested_utilization(self, fs):
+        fill_static_space(fs, 0.5)
+        assert fs.utilization() == pytest.approx(0.5, abs=0.1)
+
+    def test_zero_fraction_creates_nothing(self, fs):
+        assert fill_static_space(fs, 0.0) == []
+
+    def test_rejects_full_device(self, fs):
+        with pytest.raises(ConfigurationError):
+            fill_static_space(fs, 1.0)
+
+    def test_static_files_are_materialized(self, fs):
+        fill_static_space(fs, 0.4)
+        assert fs.device.host_bytes_written > 0
+
+    def test_utilization_reported_by_workload(self, fs):
+        fill_static_space(fs, 0.5)
+        wl = FileRewriteWorkload(fs, num_files=1, seed=1)
+        assert wl.space_utilization == pytest.approx(fs.utilization())
