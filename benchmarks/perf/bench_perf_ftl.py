@@ -1,0 +1,79 @@
+"""Perf micro-benchmarks for the FTL hot paths.
+
+Two cases bracket the FTL's operating envelope:
+
+* ``host_write`` — low utilization, no GC pressure: times the pure
+  host-write path (batch duplicate resolution + span placement).
+* ``gc_heavy`` — 90% utilization random churn: times the reclaim loop
+  (victim selection, relocation, erase) layered on the write path.
+
+Run directly: ``PYTHONPATH=src python benchmarks/perf/bench_perf_ftl.py``
+(``--check`` for CI regression gating, ``--update`` to refresh the
+committed baseline).  See ``benchmarks/perf/common.py`` for semantics.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.flash import CELL_SPECS, CellType, FlashGeometry, FlashPackage
+from repro.ftl import PageMappedFTL
+from repro.units import KIB
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+from benchmarks.perf.common import BenchCase, ftl_fingerprint, main  # noqa: E402
+
+# End-state digests of the pre-optimization implementation (commit
+# 4c627d2) on these exact scenarios; the optimized hot paths must
+# reproduce them bit for bit.
+HOST_WRITE_FINGERPRINT = "ad11e0b5c036e3acf3375757bfc59740bded5ae43dd52d23dd8f26dca0323a82"
+GC_HEAVY_FINGERPRINT = "8b9a23f096363b822226fab9db7fba0bc5ba0411d28fdc32b6741426a4ba85d3"
+
+
+def run_host_write():
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=128, num_blocks=512)
+    pkg = FlashPackage(geom, seed=3)
+    ftl = PageMappedFTL(
+        pkg,
+        logical_capacity_bytes=int(geom.capacity_bytes * 0.5),
+        mapping_unit_pages=2,
+        seed=3,
+    )
+    rng = np.random.default_rng(3)
+    pages = ftl.num_logical_units * ftl.unit_pages
+    span = pages // 4
+    start = time.perf_counter()
+    for _ in range(150):
+        lpns = rng.integers(0, span, size=4096, dtype=np.int64)
+        ftl.write_requests(lpns * 4096, 4096)
+    return time.perf_counter() - start, ftl_fingerprint(ftl)
+
+
+def run_gc_heavy():
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=64, num_blocks=256)
+    pkg = FlashPackage(geom, cell_spec=CELL_SPECS[CellType.MLC].derated(100_000), seed=5)
+    ftl = PageMappedFTL(pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.90), seed=5)
+    rng = np.random.default_rng(5)
+    pages = ftl.num_logical_units * ftl.unit_pages
+    # Map the whole logical space first so churn runs at 90% utilization.
+    for start in range(0, pages, 2048):
+        ftl.write_span(start, min(2048, pages - start))
+    start = time.perf_counter()
+    for _ in range(120):
+        lpns = rng.integers(0, pages, size=2048, dtype=np.int64)
+        ftl.write_requests(lpns * 4096, 4096)
+    return time.perf_counter() - start, ftl_fingerprint(ftl)
+
+
+CASES = [
+    BenchCase("host_write", run_host_write, HOST_WRITE_FINGERPRINT),
+    BenchCase("gc_heavy", run_gc_heavy, GC_HEAVY_FINGERPRINT),
+]
+
+
+if __name__ == "__main__":
+    sys.exit(main(CASES))

@@ -1,0 +1,62 @@
+"""Perf benchmark: a fixed WearOutExperiment segment, end to end.
+
+Times the eMMC-8GB wear-out run (scale 256, ``until_level=2``) through
+the full stack — file-rewrite workload, ext4 model, FTL, flash package,
+experiment loop.  This is the exact segment the headline benchmarks
+spend most of their wall clock in, so it is the canary for the FTL
+hot-path optimizations: the pre-optimization implementation took ~3.1 s
+here, the committed baseline must stay within 2x of the optimized
+timing, and the experiment's results (indicator increments, host-byte
+volumes, FTL stats) must stay bit-identical.
+
+Run directly:
+``PYTHONPATH=src python benchmarks/perf/bench_perf_wearout.py``
+(``--check`` for CI gating, ``--update`` to refresh the baseline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import sys
+import time
+
+from repro.core import WearOutExperiment
+from repro.devices import build_device
+from repro.fs import Ext4Model
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+from benchmarks.perf.common import BenchCase, main  # noqa: E402
+
+# Digest of the pre-optimization implementation's experiment outcome
+# (commit 4c627d2): increments [("A", 1, 2, 1056629063680)], total host
+# bytes 1056629063680, and the full FtlStats counter set.
+WEAROUT_FINGERPRINT = "9b8357d4d2936a1b1526c74f50f2ae2d3acedae3ba93f330c67b9aa67075ebb0"
+
+
+def run_wearout():
+    device = build_device("emmc-8gb", scale=256, seed=7)
+    fs = Ext4Model(device)
+    workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=7)
+    experiment = WearOutExperiment(device, workload, filesystem=fs)
+    start = time.perf_counter()
+    result = experiment.run(until_level=2)
+    elapsed = time.perf_counter() - start
+
+    increments = [
+        (r.memory_type, r.from_level, r.to_level, int(r.host_bytes)) for r in result.increments
+    ]
+    stats = {k: v for k, v in sorted(vars(device.ftl.stats).items())}
+    digest = hashlib.sha256(
+        repr((increments, int(result.total_host_bytes), stats)).encode()
+    ).hexdigest()
+    return elapsed, digest
+
+
+CASES = [BenchCase("wearout_emmc8gb", run_wearout, WEAROUT_FINGERPRINT)]
+
+
+if __name__ == "__main__":
+    sys.exit(main(CASES))

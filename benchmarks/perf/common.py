@@ -1,0 +1,128 @@
+"""Shared machinery for the perf-regression micro-benchmarks.
+
+Each benchmark case is a (name, runner, expected fingerprint) triple.
+The runner rebuilds its scenario from scratch, executes the timed
+section, and returns ``(elapsed_seconds, fingerprint)``.  Fingerprints
+are sha256 digests over the full simulator end state, so every timing
+run doubles as a bit-identity check against the pre-optimization
+implementation: a perf "win" that changes simulation results fails
+loudly instead of silently corrupting reproduction numbers.
+
+Timings are compared against the committed baseline in
+``BENCH_perf.json`` at the repo root:
+
+* default mode prints current vs baseline;
+* ``--check`` exits non-zero when a case runs slower than
+  ``REGRESSION_FACTOR`` x its baseline (or a fingerprint mismatches) —
+  this is what CI's perf-smoke job runs;
+* ``--update`` rewrites the baseline's ``seconds`` for the cases that
+  were run (``seed_seconds``, the pre-optimization timing, is kept).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "BENCH_perf.json"
+
+# CI machines are noisy; only flag clear regressions.
+REGRESSION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    name: str
+    run: Callable[[], Tuple[float, str]]
+    expected_fingerprint: str
+
+
+def ftl_fingerprint(ftl) -> str:
+    """Digest the FTL's complete observable end state.
+
+    Covers mapping tables, validity tracking, free-list membership,
+    per-block wear, bad blocks, FTL stats, and package counters — any
+    behavioural drift in the write/GC/wear-leveling paths changes it.
+    """
+    h = hashlib.sha256()
+    for arr in (ftl._l2p, ftl._p2l, ftl._valid, ftl._valid_count, ftl._closed):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(np.array(sorted(ftl._free_blocks), dtype=np.int64).tobytes())
+    pkg = ftl.package
+    h.update(np.ascontiguousarray(pkg.pe_counts).tobytes())
+    h.update(np.ascontiguousarray(pkg.bad_blocks).tobytes())
+    h.update(repr(sorted(vars(ftl.stats).items())).encode())
+    h.update(repr(sorted(vars(pkg.counters).items())).encode())
+    return h.hexdigest()
+
+
+def best_of(runner: Callable[[], Tuple[float, str]], repeats: int) -> Tuple[float, str]:
+    """Best-of-N wall time; fingerprints must agree across repeats."""
+    best = float("inf")
+    fingerprint = None
+    for _ in range(max(1, repeats)):
+        elapsed, fp = runner()
+        if fingerprint is None:
+            fingerprint = fp
+        elif fp != fingerprint:
+            raise AssertionError("benchmark fingerprint not reproducible across repeats")
+        best = min(best, elapsed)
+    return best, fingerprint
+
+
+def load_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {"cases": {}}
+
+
+def save_baseline(baseline: dict) -> None:
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def main(cases: Sequence[BenchCase], argv=None) -> int:
+    parser = argparse.ArgumentParser(description="FTL perf micro-benchmarks")
+    parser.add_argument("--check", action="store_true",
+                        help=f"fail on >{REGRESSION_FACTOR}x regression vs BENCH_perf.json")
+    parser.add_argument("--update", action="store_true",
+                        help="write current timings into BENCH_perf.json")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing runs")
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline()
+    failures = []
+    for case in cases:
+        elapsed, fingerprint = best_of(case.run, args.repeats)
+        entry = baseline["cases"].setdefault(case.name, {})
+        ref = entry.get("seconds")
+        seed_ref = entry.get("seed_seconds")
+        line = f"{case.name:<18} {elapsed:8.3f}s"
+        if ref:
+            line += f"  (baseline {ref:.3f}s, {elapsed / ref:5.2f}x)"
+        if seed_ref:
+            line += f"  [seed {seed_ref:.3f}s, {seed_ref / elapsed:4.1f}x faster]"
+        print(line)
+
+        if fingerprint != case.expected_fingerprint:
+            failures.append(f"{case.name}: fingerprint drift — simulation results changed "
+                            f"(got {fingerprint[:16]}…, expected {case.expected_fingerprint[:16]}…)")
+        elif args.check and ref and elapsed > ref * REGRESSION_FACTOR:
+            failures.append(f"{case.name}: {elapsed:.3f}s is >{REGRESSION_FACTOR}x baseline {ref:.3f}s")
+        if args.update:
+            entry["seconds"] = round(elapsed, 3)
+            entry["fingerprint"] = fingerprint
+
+    if args.update:
+        save_baseline(baseline)
+        print(f"baseline updated: {BASELINE_PATH}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0

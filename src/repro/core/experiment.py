@@ -18,6 +18,7 @@ from repro.core.clock import SimClock
 from repro.core.results import IncrementRecord, WearOutResult
 from repro.devices.interface import BlockDevice
 from repro.errors import DeviceWornOut, OutOfSpaceError, ReadOnlyError, UncorrectableError
+from repro.ftl.wear_indicator import WearIndicator
 
 
 class WearOutExperiment:
@@ -68,8 +69,9 @@ class WearOutExperiment:
             # reported at full-device equivalents (DESIGN.md §6).
             self.result.total_seconds += duration * self.device.scale
             self.result.total_app_bytes += app_bytes * self.device.scale
-            self._record_increments()
-            if self._any_at_level(until_level):
+            indicators = self.device.wear_indicators()
+            self._record_increments(indicators)
+            if self._any_at_level(until_level, indicators):
                 break
         self.result.total_host_bytes = self.device.host_bytes_written * self.device.scale
         return self.result
@@ -92,7 +94,7 @@ class WearOutExperiment:
             self.clock.advance(duration)
             self.result.total_seconds += duration * self.device.scale
             self.result.total_app_bytes += app_bytes * self.device.scale
-            self._record_increments()
+            self._record_increments(self.device.wear_indicators())
             records = self.result.increments_for(memory_type)
             if len(records) > before:
                 return records[-1]
@@ -118,8 +120,10 @@ class WearOutExperiment:
             seconds=self.clock.now,
         )
 
-    def _record_increments(self) -> None:
-        for mem_type, indicator in self.device.wear_indicators().items():
+    def _record_increments(self, indicators: Dict[str, "WearIndicator"]) -> None:
+        """Record level crossings from one per-step indicator reading
+        (read once per step and shared with the termination check)."""
+        for mem_type, indicator in indicators.items():
             old = self._last_levels[mem_type]
             if indicator.level <= old:
                 continue
@@ -141,8 +145,8 @@ class WearOutExperiment:
             self._last_levels[mem_type] = indicator.level
             self._phase_start[mem_type] = now
 
-    def _any_at_level(self, level: int) -> bool:
-        return any(ind.level >= level for ind in self.device.wear_indicators().values())
+    def _any_at_level(self, level: int, indicators: Dict[str, "WearIndicator"]) -> bool:
+        return any(ind.level >= level for ind in indicators.values())
 
 
 class _PhaseMarker:

@@ -90,7 +90,11 @@ class BlockDevice:
             raise ReadOnlyError(f"{self.name} is read-only (worn out)")
         before = self.ftl.media_pages_programmed
         try:
-            if offsets.size > 1 and (np.diff(offsets) == request_bytes).all():
+            if (
+                offsets.size > 1
+                and int(offsets[1]) - int(offsets[0]) == request_bytes
+                and (np.diff(offsets) == request_bytes).all()
+            ):
                 # Write combining: the device's buffer merges back-to-back
                 # sequential sync writes into full mapping units, which is
                 # why Figure 1a's sequential small writes escape the RMW

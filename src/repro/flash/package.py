@@ -93,6 +93,24 @@ class FlashPackage:
         self._cycle_limit = nominal_limit * variation
         self._last_heal_time = 0.0
 
+        # Effective-wear cache: ``_pe_permanent + _pe_recoverable`` is the
+        # hottest array in the simulator (GC victim selection, dynamic
+        # wear leveling, and the wear indicator all read it).  It is
+        # recomputed lazily and patched in place by the erase paths, so
+        # per-access allocation disappears from the FTL hot loop.
+        self._pe_cache = np.zeros(n, dtype=np.float64)
+        self._pe_cache_ro = self._pe_cache.view()
+        self._pe_cache_ro.flags.writeable = False
+        self._pe_cache_valid = True
+        self._bad_ro = self._bad.view()
+        self._bad_ro.flags.writeable = False
+        self._num_bad = 0
+        # Running maximum of effective P/E: erases only ever raise a
+        # block's count, so the max can be maintained per erase; healing
+        # lowers counts and invalidates it alongside the cache.
+        self._pe_max = 0.0
+        self._pe_max_valid = True
+
     # ------------------------------------------------------------------
     # Wear state
     # ------------------------------------------------------------------
@@ -103,24 +121,50 @@ class FlashPackage:
 
     @property
     def pe_counts(self) -> np.ndarray:
-        """Effective P/E cycles per block (permanent + recoverable). Copy-free view is not given; treat as read-only."""
-        return self._pe_permanent + self._pe_recoverable
+        """Effective P/E cycles per block (permanent + recoverable).
+
+        Returns a *shared, read-only* cached array: the same buffer is
+        handed out on every access and always reflects the current wear
+        state.  The cache is patched in place by :meth:`erase_blocks` /
+        :meth:`erase_block` and invalidated by :meth:`idle` and
+        :meth:`anneal` (healing rescales the recoverable component).
+        Callers that need a stable snapshot must copy.
+        """
+        if not self._pe_cache_valid:
+            np.add(self._pe_permanent, self._pe_recoverable, out=self._pe_cache)
+            self._pe_cache_valid = True
+        return self._pe_cache_ro
+
+    @property
+    def max_pe_count(self) -> float:
+        """Largest effective P/E count across all blocks (cached)."""
+        if not self._pe_max_valid:
+            self._pe_max = float(self.pe_counts.max()) if self.num_blocks else 0.0
+            self._pe_max_valid = True
+        return self._pe_max
 
     @property
     def permanent_pe_counts(self) -> np.ndarray:
+        """Permanent (non-healable) P/E cycles per block; defensive copy."""
         return self._pe_permanent.copy()
 
     @property
     def bad_blocks(self) -> np.ndarray:
-        """Boolean mask of retired blocks."""
+        """Boolean mask of retired blocks; defensive copy."""
         return self._bad.copy()
 
     @property
+    def bad_blocks_view(self) -> np.ndarray:
+        """Shared read-only view of the retired-block mask (hot paths)."""
+        return self._bad_ro
+
+    @property
     def num_bad_blocks(self) -> int:
-        return int(self._bad.sum())
+        return self._num_bad
 
     def cycle_limits(self) -> np.ndarray:
-        """Per-block P/E limit at which the firmware retires the block."""
+        """Per-block P/E limit at which the firmware retires the block;
+        defensive copy."""
         return self._cycle_limit.copy()
 
     def mean_wear_fraction(self) -> float:
@@ -152,10 +196,59 @@ class FlashPackage:
         self.counters.block_erases += int(block_ids.size)
 
         effective = self._pe_permanent[block_ids] + self._pe_recoverable[block_ids]
+        if self._pe_cache_valid:
+            self._pe_cache[block_ids] = effective
+        if self._pe_max_valid:
+            top = float(effective.max())
+            if top > self._pe_max:
+                self._pe_max = top
         newly_bad = effective >= self._cycle_limit[block_ids]
         if newly_bad.any():
             self._bad[block_ids[newly_bad]] = True
+            self._num_bad = int(self._bad.sum())
         return newly_bad
+
+    def erase_block(self, block_id: int) -> bool:
+        """Scalar fast path of :meth:`erase_blocks` for a single block.
+
+        The FTL's garbage collector erases exactly one block per victim;
+        the array path's validation and fancy indexing dominate at that
+        batch size.  Returns True when the block crossed its cycle limit
+        and was retired.
+        """
+        block_id = int(block_id)
+        if not 0 <= block_id < self.geometry.num_blocks:
+            raise ConfigurationError("block id out of range")
+        if self._bad[block_id]:
+            raise DeviceWornOut("erase issued to a retired block")
+        frac = self.healing.recoverable_fraction
+        permanent = self._pe_permanent
+        recoverable = self._pe_recoverable
+        permanent[block_id] = perm = permanent[block_id] + (1.0 - frac)
+        recoverable[block_id] = reco = recoverable[block_id] + frac
+        self.counters.block_erases += 1
+
+        effective = perm + reco
+        if self._pe_cache_valid:
+            self._pe_cache[block_id] = effective
+        if self._pe_max_valid and effective > self._pe_max:
+            self._pe_max = float(effective)
+        if effective >= self._cycle_limit[block_id]:
+            self._bad[block_id] = True
+            self._num_bad += 1
+            return True
+        return False
+
+    def set_permanent_wear(self, pe_counts) -> None:
+        """Overwrite permanent per-block wear (scalar or per-block array).
+
+        Setup hook for tests and failure-injection scenarios.  Mutating
+        ``_pe_permanent`` directly would bypass the effective-wear cache;
+        this is the supported way to preload wear state.
+        """
+        self._pe_permanent[:] = pe_counts
+        self._pe_cache_valid = False
+        self._pe_max_valid = False
 
     def record_page_programs(self, count: int) -> None:
         """Account ``count`` page programs (wear itself is charged at erase)."""
@@ -173,6 +266,8 @@ class FlashPackage:
         if self.healing.disabled:
             return
         self._pe_recoverable = self.healing.heal(self._pe_recoverable, elapsed_seconds, temp_c)
+        self._pe_cache_valid = False
+        self._pe_max_valid = False
 
     def anneal(self, temp_c: float, duration_seconds: float) -> None:
         """Heat-accelerated healing of worn-out cells (§2.2).
@@ -183,9 +278,12 @@ class FlashPackage:
         if self.healing.disabled:
             return
         self._pe_recoverable = self.healing.heal(self._pe_recoverable, duration_seconds, temp_c)
+        self._pe_cache_valid = False
+        self._pe_max_valid = False
         effective = self._pe_permanent + self._pe_recoverable
         healed = self._bad & (effective < self._cycle_limit)
         self._bad[healed] = False
+        self._num_bad = int(self._bad.sum())
 
     # ------------------------------------------------------------------
     # Reliability queries

@@ -9,8 +9,19 @@ paper's Figure 1 random-write collapse on the microSD card and the
 "roughly three times lower than back-of-the-envelope" endurance of §4.3.
 
 All hot paths are vectorized over numpy arrays: a batch of host writes
-is processed chunk-by-chunk against the active block, with duplicate
-LPNs within a batch resolved last-writer-wins.
+resolves duplicate LPNs last-writer-wins up front, then places whole
+spans of units across consecutive blocks in a handful of array ops
+(chunking only at reclaim boundaries, where GC may have to run).
+
+The hot path is built around incremental data structures rather than
+per-call recomputation (see DESIGN.md "Performance"):
+
+* duplicate resolution uses O(chunk) scatter/gather against a
+  persistent position-scratch array — no sorting/`np.unique` per chunk;
+* GC victim selection reads a :class:`~repro.ftl.gc.VictimQueue` that
+  is updated as invalidations land, instead of rescanning every block;
+* per-block wear comes from the package's cached effective-P/E array,
+  patched in place by the single-block erase fast path.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DeviceWornOut, OutOfSpaceError, ReadOnlyError, UncorrectableError
 from repro.flash.package import FlashPackage
-from repro.ftl.gc import GreedyVictimPolicy
+from repro.ftl.gc import GreedyVictimPolicy, VictimQueue
 from repro.ftl.stats import FtlStats
 from repro.ftl.wear_indicator import PreEolState, WearIndicator, wear_level
 from repro.ftl.wear_leveling import (
@@ -103,6 +114,7 @@ class PageMappedFTL:
         self.unit_bytes = mapping_unit_pages * geom.page_size
         self.units_per_block = geom.pages_per_block // mapping_unit_pages
         self.total_units = geom.num_blocks * self.units_per_block
+        self._num_blocks = geom.num_blocks
 
         self.num_logical_units = -(-logical_capacity_bytes // self.unit_bytes)
         self.logical_capacity_bytes = logical_capacity_bytes
@@ -115,6 +127,7 @@ class PageMappedFTL:
             )
         self._min_blocks_needed = min_blocks_needed
         self._reserve_blocks = reserve_blocks
+        self._eol_min_usable = min_blocks_needed + reserve_blocks
         self._initial_spares = geom.num_blocks - min_blocks_needed - reserve_blocks
 
         self.gc_low_water = gc_low_water
@@ -136,8 +149,29 @@ class PageMappedFTL:
         self._erases_since_wl_check = 0
         self._in_reclaim = False
 
+        # Incremental GC-victim index (see repro.ftl.gc.VictimQueue), the
+        # position-scratch used for O(span) duplicate resolution, and
+        # reusable index buffers for the placement hot path.
+        self._gc_queue = VictimQueue(geom.num_blocks, self.units_per_block)
+        self._occ_scratch = np.zeros(self.num_logical_units, dtype=np.int64)
+        self._iota = np.arange(self.units_per_block, dtype=np.int64)
+        self._pos_buf = np.arange(max(self.units_per_block, 4096), dtype=np.int64)
+        self._ppu_buf = np.empty(max(self.units_per_block, 4096), dtype=np.int64)
+
         self._read_error_checks = read_error_checks
         self._read_rng = substream(seed, "ftl-read-errors")
+
+    @property
+    def victim_policy(self):
+        return self._victim_policy
+
+    @victim_policy.setter
+    def victim_policy(self, policy) -> None:
+        self._victim_policy = policy
+        # Bound fast-path methods, cached so victim selection skips
+        # per-call attribute probes (it runs once per erased block).
+        self._select_fast = getattr(policy, "select_incremental", None)
+        self._select_burst = getattr(policy, "select_burst", None) if self._select_fast else None
 
     # ------------------------------------------------------------------
     # Public API
@@ -251,7 +285,7 @@ class PageMappedFTL:
         if end_unit <= first_unit:
             return
         unit_lpns = np.arange(first_unit, end_unit, dtype=np.int64)
-        self._invalidate_old(unit_lpns)
+        self._invalidate_stale(self._l2p[unit_lpns])
         self._l2p[unit_lpns] = -1
 
     # ------------------------------------------------------------------
@@ -296,6 +330,8 @@ class PageMappedFTL:
     def _check_writable_bytes(self, offsets: np.ndarray, request_bytes: int) -> None:
         if self.read_only:
             raise ReadOnlyError("device is in read-only (worn out) mode")
+        if offsets.size == 0:
+            return
         if offsets.min() < 0 or int(offsets.max()) + request_bytes > self.num_logical_units * self.unit_bytes:
             raise ConfigurationError("write beyond logical capacity")
 
@@ -310,50 +346,174 @@ class PageMappedFTL:
             self.stats.migration_pages += pages
         self.package.record_page_programs(pages)
 
+        allow_reclaim = source is _Source.HOST or source is _Source.MIGRATION
+        upb = self.units_per_block
         idx = 0
         n = unit_lpns.size
         while idx < n:
             if self._active_block is None:
-                self._open_new_block(allow_reclaim=source is _Source.HOST or source is _Source.MIGRATION)
-            room = self.units_per_block - self._active_offset
-            chunk = unit_lpns[idx : idx + room]
-            self._place_chunk(chunk)
-            idx += chunk.size
-            if self._active_offset == self.units_per_block:
-                self._close_active_block()
+                self._open_new_block(allow_reclaim=allow_reclaim)
+            # Units placeable before the next reclaim decision point: the
+            # active block's remaining room plus every block that can be
+            # opened without triggering GC.  No reclaim (hence no victim
+            # selection, relocation, or erase) can run inside that window,
+            # so the whole span is placed with one set of vectorized
+            # operations instead of one per block-sized chunk.
+            if allow_reclaim and not self._in_reclaim:
+                safe_opens = len(self._free_blocks) - self.gc_low_water
+            else:
+                safe_opens = len(self._free_blocks)
+            span = (upb - self._active_offset) + max(0, safe_opens) * upb
+            end = min(idx + span, n)
+            self._place_span(unit_lpns[idx:end])
+            idx = end
 
-    def _place_chunk(self, chunk: np.ndarray) -> None:
-        """Map one chunk of unit LPNs into the active block."""
+    def _place_span(self, lpns: np.ndarray) -> None:
+        """Map a span of unit LPNs into the active block and, when it
+        fills, into freshly opened successors — closing filled blocks as
+        it goes.  The caller guarantees the span fits without a reclaim
+        decision, so placing it wholesale is state-for-state identical
+        to the chunk-at-a-time log append.
+
+        Duplicate LPNs within the span still consume log space (each is
+        an independent sync program) but only the last write of an LPN
+        stays valid.  The last-occurrence mask is built with O(span)
+        scatter/gather against ``_occ_scratch`` — duplicate indices in a
+        numpy fancy assignment resolve to the last value written.  One
+        mask suffices: the last occurrences select the same unique-LPN
+        set as the first occurrences, and stale-mapping invalidation is
+        order-insensitive.  No sort, no ``np.unique``.
+        """
+        m = lpns.size
+        upb = self.units_per_block
+        iota = self._iota
         block = self._active_block
-        base = block * self.units_per_block + self._active_offset
-        ppus = base + np.arange(chunk.size, dtype=np.int64)
-
-        self._invalidate_old(np.unique(chunk))
-
-        if chunk.size == np.unique(chunk).size:
-            last_mask = np.ones(chunk.size, dtype=bool)
+        offset = self._active_offset
+        if m <= upb - offset:
+            # Span fits in the active block: one segment, no buffer fill.
+            ppus = iota[:m] + (block * upb + offset)
+            segments = [(block, 0, m)]
+            filled = []
+            self._active_offset = offset + m
+            if self._active_offset == upb:
+                self._closed[block] = True
+                filled.append(block)
+                self._active_block = None
+                self._active_offset = 0
         else:
-            # Duplicates within a batch: the last write of an LPN wins.
-            reversed_chunk = chunk[::-1]
-            _, rev_first = np.unique(reversed_chunk, return_index=True)
-            last_positions = chunk.size - 1 - rev_first
-            last_mask = np.zeros(chunk.size, dtype=bool)
-            last_mask[last_positions] = True
+            buf = self._ppu_buf
+            if buf.size < m:
+                self._ppu_buf = buf = np.empty(max(m, buf.size * 2), dtype=np.int64)
+            ppus = buf[:m]
+            segments = []  # (block, start, end) index ranges into the span
+            filled = []
+            start = 0
+            while True:
+                take = min(upb - offset, m - start)
+                seg_end = start + take
+                np.add(iota[:take], block * upb + offset, out=ppus[start:seg_end])
+                segments.append((block, start, seg_end))
+                offset += take
+                start = seg_end
+                if offset == upb:
+                    self._closed[block] = True
+                    filled.append(block)
+                    block = None
+                    offset = 0
+                    if start < m:
+                        block = self._pop_free_block()
+                        continue
+                break
+            self._active_block = block
+            self._active_offset = offset
 
-        self._valid[ppus] = last_mask
-        self._p2l[ppus] = chunk
-        self._l2p[chunk[last_mask]] = ppus[last_mask]
-        self._valid_count[block] += int(last_mask.sum())
-        self._active_offset += chunk.size
+        pos_buf = self._pos_buf
+        if pos_buf.size < m:
+            self._pos_buf = pos_buf = np.arange(max(m, pos_buf.size * 2), dtype=np.int64)
+        positions = pos_buf[:m]
+        scratch = self._occ_scratch
+        scratch[lpns] = positions
+        last_mask = scratch[lpns] == positions
+        counts = self._valid_count
 
-    def _invalidate_old(self, unique_lpns: np.ndarray) -> None:
-        old_ppus = self._l2p[unique_lpns]
-        stale = old_ppus[old_ppus >= 0]
-        if stale.size == 0:
+        if np.count_nonzero(last_mask) == m:
+            # No duplicates: every unit is both first and last of its LPN.
+            self._invalidate_stale(self._l2p[lpns])
+            self._valid[ppus] = True
+            self._p2l[ppus] = lpns
+            self._l2p[lpns] = ppus
+            for block, seg_start, seg_end in segments:
+                counts[block] += seg_end - seg_start
+        else:
+            survivors = lpns[last_mask]
+            self._invalidate_stale(self._l2p[survivors])
+            self._valid[ppus] = last_mask
+            self._p2l[ppus] = lpns
+            self._l2p[survivors] = ppus[last_mask]
+            if len(segments) == 1:
+                counts[segments[0][0]] += survivors.size
+            else:
+                # Per-segment survivor counts from one cumulative sum
+                # instead of a count_nonzero per segment.
+                csum = np.cumsum(last_mask)
+                prev = 0
+                for block, seg_start, seg_end in segments:
+                    c = int(csum[seg_end - 1])
+                    counts[block] += c - prev
+                    prev = c
+
+        # Filled blocks become GC candidates with their settled counts
+        # (span-internal invalidation has already landed above).
+        if filled:
+            self._gc_queue.add_many(filled, counts)
+
+    def _invalidate_stale(self, old_ppus: np.ndarray) -> None:
+        """Invalidate the physical units behind a set of old mappings.
+
+        ``old_ppus`` must come from distinct LPNs (``_l2p`` is injective
+        on mapped units, so the stale entries are distinct too).
+        Per-block valid counts are updated with one bincount, and the
+        same decrement vector is pushed into the GC victim queue — one
+        fused vector pass instead of per-block candidate updates.
+        """
+        if old_ppus.size == 0:
             return
+        if old_ppus.min() >= 0:
+            # Steady state: every LPN was already mapped, skip the filter.
+            stale = old_ppus
+        else:
+            stale = old_ppus[old_ppus >= 0]
+            if stale.size == 0:
+                return
         self._valid[stale] = False
-        blocks, counts = np.unique(stale // self.units_per_block, return_counts=True)
-        self._valid_count[blocks] -= counts
+        delta = np.bincount(stale // self.units_per_block, minlength=self._num_blocks)
+        np.subtract(self._valid_count, delta, out=self._valid_count)
+        self._gc_queue.apply_delta(delta)
+
+    def _pop_free_block(self) -> int:
+        free = self._free_blocks
+        if not free:
+            raise OutOfSpaceError("FTL has no free blocks (over-provisioning exhausted)")
+        if not self.wl_config.dynamic or len(free) == 1:
+            # FIFO allocation; pop head without the policy call.
+            return free.pop(0)
+        if len(free) <= 4:
+            # Inlined least-worn scan for the steady-state tiny free
+            # list (strict < keeps pick_free_block's first-of-ties
+            # winner); larger lists go through the shared policy helper.
+            pe = self.package.pe_counts
+            best = free[0]
+            best_pe = pe[best]
+            for block in free[1:]:
+                v = pe[block]
+                if v < best_pe:
+                    best = block
+                    best_pe = v
+            block = best
+        else:
+            block = pick_free_block(free, self.package.pe_counts, True)
+        free.remove(block)
+        return block
 
     def _open_new_block(self, allow_reclaim: bool) -> None:
         if allow_reclaim and len(self._free_blocks) <= self.gc_low_water and not self._in_reclaim:
@@ -362,16 +522,7 @@ class PageMappedFTL:
                 # Reclaim relocations opened (and partially filled) a new
                 # active block; keep appending to it instead of leaking it.
                 return
-        if not self._free_blocks:
-            raise OutOfSpaceError("FTL has no free blocks (over-provisioning exhausted)")
-        block = pick_free_block(self._free_blocks, self.package.pe_counts, self.wl_config.dynamic)
-        self._free_blocks.remove(block)
-        self._active_block = block
-        self._active_offset = 0
-
-    def _close_active_block(self) -> None:
-        self._closed[self._active_block] = True
-        self._active_block = None
+        self._active_block = self._pop_free_block()
         self._active_offset = 0
 
     # ------------------------------------------------------------------
@@ -379,31 +530,105 @@ class PageMappedFTL:
     # ------------------------------------------------------------------
 
     def _candidate_mask(self) -> np.ndarray:
-        mask = self._closed & ~self.package.bad_blocks
+        mask = self._closed & ~self.package.bad_blocks_view
         if self._active_block is not None:
             mask[self._active_block] = False
         return mask
+
+    def _select_victim(self) -> Optional[int]:
+        """Ask the policy for a victim, via the incremental queue when
+        the policy supports it (custom policies fall back to the
+        array-scan interface)."""
+        fast = self._select_fast
+        if fast is not None:
+            return fast(self._gc_queue, self.package.pe_counts, self.package.max_pe_count)
+        return self.victim_policy.select(
+            self._candidate_mask(),
+            self._valid_count,
+            self.package.pe_counts,
+            self.units_per_block,
+        )
 
     def _reclaim_space(self) -> None:
         self._in_reclaim = True
         try:
             stall_guard = 0
-            while len(self._free_blocks) < self.gc_high_water:
-                victim = self.victim_policy.select(
-                    self._candidate_mask(),
-                    self._valid_count,
-                    self.package.pe_counts,
-                    self.units_per_block,
-                )
+            fast = self._select_fast
+            package = self.package
+            stats = self.stats
+            free_blocks = self._free_blocks
+            high_water = self.gc_high_water
+            queue = self._gc_queue
+            valid_count = self._valid_count
+            burst = self._select_burst
+            cache: dict = {}
+            if fast is not None:
+                # The cached effective-P/E array is patched in place by
+                # the erase path, so one property read serves the burst.
+                # Reading max_pe_count once revalidates the running max;
+                # erase_block then maintains it in place, which makes the
+                # direct ``_pe_max`` reads below exact for the burst.
+                pe_counts = package.pe_counts
+                package.max_pe_count
+            upb = self.units_per_block
+            p2l = self._p2l
+            closed = self._closed
+            cof = queue._count_of
+            erased = 0
+            runs = 0
+            while len(free_blocks) < high_water:
+                if burst is not None:
+                    victim = burst(queue, pe_counts, package._pe_max, cache)
+                elif fast is not None:
+                    victim = fast(queue, pe_counts, package._pe_max)
+                else:
+                    victim = self._select_victim()
                 if victim is None:
                     break
-                freed = self._collect_block(victim, _Source.GC)
-                self.stats.gc_runs += 1
+                if valid_count[victim]:
+                    # Relocation closes/opens blocks and moves counts;
+                    # the burst selection snapshot is no longer exact.
+                    # Flush locally accumulated counters first so stats
+                    # stay exact even if relocation raises.
+                    if erased:
+                        stats.blocks_erased += erased
+                        self._erases_since_wl_check += erased
+                        erased = 0
+                    if runs:
+                        stats.gc_runs += runs
+                        runs = 0
+                    cache.clear()
+                    freed = self._collect_block(victim, _Source.GC)
+                    stats.gc_runs += 1
+                else:
+                    # Inlined _collect_block for the (dominant) case of a
+                    # fully-invalid victim: nothing to relocate — drop it
+                    # from the queue, clear its reverse map, erase.
+                    if cof[victim] >= 0:  # inlined queue.discard
+                        cof[victim] = -1
+                        queue._tracked -= 1
+                    start = victim * upb
+                    p2l[start:start + upb] = -1
+                    closed[victim] = False
+                    went_bad = package.erase_block(victim)
+                    erased += 1
+                    runs += 1
+                    if not went_bad:
+                        free_blocks.append(victim)
+                    freed = not went_bad
                 stall_guard = stall_guard + 1 if not freed else 0
                 if stall_guard > 4:
                     break
-            self._maybe_static_wear_level()
-            self._check_end_of_life()
+            if erased:
+                stats.blocks_erased += erased
+                self._erases_since_wl_check += erased
+            if runs:
+                stats.gc_runs += runs
+            cfg = self.wl_config
+            if cfg.static_enabled and self._erases_since_wl_check >= cfg.static_check_interval:
+                self._maybe_static_wear_level()
+            if self._num_blocks - package.num_bad_blocks < self._eol_min_usable:
+                self._check_end_of_life()
         finally:
             self._in_reclaim = False
 
@@ -413,18 +638,20 @@ class PageMappedFTL:
         Returns True if the erase netted a new free (or at least usable)
         block, False when the block went bad.
         """
+        self._gc_queue.discard(victim)
         start = victim * self.units_per_block
-        ppus = np.arange(start, start + self.units_per_block, dtype=np.int64)
-        live = ppus[self._valid[ppus]]
-        if live.size:
+        end = start + self.units_per_block
+        if self._valid_count[victim]:
+            live = start + np.nonzero(self._valid[start:end])[0]
             self._write_units(self._p2l[live], source)
-        # Relocation invalidated every unit; the block is now empty.
-        self._valid[ppus] = False
-        self._p2l[ppus] = -1
-        self._valid_count[victim] = 0
+            # Relocation invalidated every unit; the block is now empty,
+            # but clear defensively in case a unit was somehow retained.
+            self._valid[start:end] = False
+            self._valid_count[victim] = 0
+        self._p2l[start:end] = -1
         self._closed[victim] = False
 
-        went_bad = bool(self.package.erase_blocks(np.array([victim]))[0])
+        went_bad = self.package.erase_block(victim)
         self.stats.blocks_erased += 1
         self._erases_since_wl_check += 1
         if not went_bad:
@@ -438,7 +665,7 @@ class PageMappedFTL:
         if self._erases_since_wl_check < cfg.static_check_interval:
             return
         self._erases_since_wl_check = 0
-        good = ~self.package.bad_blocks
+        good = ~self.package.bad_blocks_view
         if not wear_gap_exceeds(self.package.pe_counts, good, cfg.static_delta_threshold):
             return
         victim = pick_cold_victim(self._candidate_mask(), self.package.pe_counts, self._valid_count)

@@ -45,8 +45,20 @@ def pick_free_block(free_blocks: Sequence[int], pe_counts: np.ndarray, dynamic: 
     """
     if not free_blocks:
         raise ValueError("no free blocks to pick from")
-    if not dynamic:
+    if not dynamic or len(free_blocks) == 1:
         return free_blocks[0]
+    if len(free_blocks) <= 16:
+        # The steady-state free list is a handful of blocks; a direct
+        # scan beats building index arrays.  Strict < keeps the same
+        # first-of-ties winner as argmin.
+        best = free_blocks[0]
+        best_pe = pe_counts[best]
+        for block in free_blocks[1:]:
+            pe = pe_counts[block]
+            if pe < best_pe:
+                best = block
+                best_pe = pe
+        return best
     ids = np.fromiter(free_blocks, dtype=np.int64, count=len(free_blocks))
     return int(ids[np.argmin(pe_counts[ids])])
 

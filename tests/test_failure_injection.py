@@ -93,7 +93,7 @@ class TestEndOfLifeBehaviour:
 
         # Age every block to 99% of the retirement limit.
         limit = pkg.cycle_limits().min()
-        pkg._pe_permanent[:] = limit * 0.99
+        pkg.set_permanent_wear(limit * 0.99)
         prob = pkg.uncorrectable_probability(int(ftl._l2p[0] // ftl.units_per_block))
         assert prob > 1e-6  # the regime is actually risky
 

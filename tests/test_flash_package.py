@@ -123,6 +123,92 @@ class TestHealing:
         assert not pkg.bad_blocks[0]
 
 
+class TestWearCache:
+    """The cached effective-wear state must track every mutation path."""
+
+    def test_pe_counts_is_shared_and_read_only(self, package):
+        pe = package.pe_counts
+        assert pe is package.pe_counts  # same buffer, no per-access copy
+        with pytest.raises(ValueError):
+            pe[0] = 99.0
+
+    def test_scalar_erase_matches_array_erase(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=32)
+        healing = HealingModel(recoverable_fraction=0.3, time_constant_days=5)
+        a = FlashPackage(geom, healing=healing, seed=1)
+        b = FlashPackage(geom, healing=healing, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            block = int(rng.integers(0, 32))
+            assert a.erase_block(block) == bool(b.erase_blocks(np.array([block]))[0])
+        np.testing.assert_array_equal(a.pe_counts, b.pe_counts)
+        assert a.max_pe_count == b.max_pe_count
+        assert a.counters.block_erases == b.counters.block_erases
+
+    def test_max_pe_count_tracks_erases(self, package):
+        assert package.max_pe_count == 0.0
+        package.erase_blocks(np.array([3]))
+        package.erase_block(3)
+        assert package.max_pe_count == pytest.approx(2.0)
+        assert package.max_pe_count == float(package.pe_counts.max())
+
+    def test_cache_invalidated_by_healing(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        pkg = FlashPackage(
+            geom, healing=HealingModel(recoverable_fraction=0.5, time_constant_days=1), seed=1
+        )
+        for _ in range(4):
+            pkg.erase_block(0)
+        assert pkg.max_pe_count == pytest.approx(4.0)
+        pkg.idle(86400.0 * 10)
+        fresh = pkg._pe_permanent + pkg._pe_recoverable
+        np.testing.assert_allclose(pkg.pe_counts, fresh)
+        assert pkg.max_pe_count == pytest.approx(float(fresh.max()))
+
+    def test_cache_invalidated_by_anneal(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        pkg = FlashPackage(
+            geom, healing=HealingModel(recoverable_fraction=0.6, time_constant_days=1), seed=1
+        )
+        for _ in range(6):
+            pkg.erase_block(1)
+        pkg.anneal(temp_c=250.0, duration_seconds=86400.0 * 30)
+        fresh = pkg._pe_permanent + pkg._pe_recoverable
+        np.testing.assert_allclose(pkg.pe_counts, fresh)
+        assert pkg.max_pe_count == pytest.approx(float(fresh.max()))
+
+    def test_set_permanent_wear_refreshes_cache(self, package):
+        package.erase_block(0)
+        _ = package.pe_counts  # populate the cache
+        package.set_permanent_wear(np.full(32, 7.0))
+        assert package.pe_counts[5] == pytest.approx(7.0)
+        assert package.max_pe_count == pytest.approx(7.0)
+
+    def test_num_bad_blocks_tracks_both_erase_paths(self):
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        spec = CELL_SPECS[CellType.MLC].derated(3)
+        pkg = FlashPackage(geom, cell_spec=spec, endurance_sigma=0.0, seed=1)
+        while not pkg.erase_block(0):
+            pass
+        while not pkg.erase_blocks(np.array([1]))[0]:
+            pass
+        assert pkg.num_bad_blocks == 2
+        assert pkg.num_bad_blocks == int(pkg.bad_blocks.sum())
+
+    def test_bad_blocks_view_is_shared_and_read_only(self, package):
+        view = package.bad_blocks_view
+        assert view is package.bad_blocks_view
+        with pytest.raises(ValueError):
+            view[0] = True
+        # The documented copy-returning properties stay defensive.
+        package.bad_blocks[0] = True
+        assert not package.bad_blocks[0]
+        package.permanent_pe_counts[0] = 5.0
+        assert package.permanent_pe_counts[0] == 0.0
+        package.cycle_limits()[0] = 1.0
+        assert package.cycle_limits()[0] != 1.0
+
+
 class TestReliabilityQueries:
     def test_rber_grows_with_block_wear(self, package):
         for _ in range(2000):

@@ -1,0 +1,328 @@
+"""Bit-identity tests for the vectorized FTL hot paths.
+
+The FTL's write/GC/wear-leveling paths were rewritten for speed
+(batch duplicate resolution, span placement, the incremental
+:class:`VictimQueue`, cached wear state).  A perf "optimization" that
+drifts the simulation is worse than a slow simulator, so these tests
+pin the complete observable end state — mapping tables, validity,
+free-list, per-block wear, bad blocks, stats, package counters — to
+sha256 digests captured from the pre-optimization implementation
+(commit 4c627d2) on randomized workloads, and cross-check the fast
+paths against their in-tree reference implementations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.flash import CELL_SPECS, CellType, FlashGeometry, FlashPackage
+from repro.ftl import PageMappedFTL
+from repro.ftl.gc import CostBenefitVictimPolicy, GreedyVictimPolicy, VictimQueue
+from repro.units import KIB
+
+
+def ftl_fingerprint(ftl) -> str:
+    """Digest the FTL's complete observable end state."""
+    h = hashlib.sha256()
+    for arr in (ftl._l2p, ftl._p2l, ftl._valid, ftl._valid_count, ftl._closed):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(np.array(sorted(ftl._free_blocks), dtype=np.int64).tobytes())
+    pkg = ftl.package
+    h.update(np.ascontiguousarray(pkg.pe_counts).tobytes())
+    h.update(np.ascontiguousarray(pkg.bad_blocks).tobytes())
+    h.update(repr(sorted(vars(ftl.stats).items())).encode())
+    h.update(repr(sorted(vars(pkg.counters).items())).encode())
+    return h.hexdigest()
+
+
+def run_scenario(unit_pages, pattern, endurance=500, with_trim=True, seed=7,
+                 victim_policy=None):
+    """A GC-heavy randomized workload exercising every hot path.
+
+    40 steps of 600 writes at 87% utilization on heavily derated media:
+    thousands of reclaim cycles, block retirements, dynamic and static
+    wear leveling, plus trims and unaligned spans sprinkled in.
+    """
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+    pkg = FlashPackage(
+        geom, cell_spec=CELL_SPECS[CellType.MLC].derated(endurance),
+        endurance_sigma=0.05, seed=seed,
+    )
+    if victim_policy is None:
+        victim_policy = GreedyVictimPolicy() if pattern != "seq" else CostBenefitVictimPolicy()
+    ftl = PageMappedFTL(
+        pkg,
+        logical_capacity_bytes=int(geom.capacity_bytes * 0.87),
+        mapping_unit_pages=unit_pages,
+        victim_policy=victim_policy,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    page = geom.page_size
+    pages_total = ftl.num_logical_units * ftl.unit_pages
+    for step in range(40):
+        if pattern == "rand":
+            lpns = rng.integers(0, pages_total, size=600, dtype=np.int64)
+        elif pattern == "dup":
+            # Heavy in-batch duplication: a small hot span.
+            lpns = rng.integers(0, max(8, pages_total // 16), size=600, dtype=np.int64)
+        else:  # seq
+            start = (step * 571) % max(1, pages_total - 600)
+            lpns = np.arange(start, start + 600, dtype=np.int64)
+        ftl.write_requests(lpns * page, page)
+        if with_trim and step % 7 == 3:
+            ftl.trim_pages(int(rng.integers(0, pages_total // 2)), 64)
+        if step % 5 == 2:
+            ftl.write_span(int(rng.integers(0, pages_total - 40)), 37)
+    return ftl
+
+
+# sha256 end-state digests captured by running run_scenario on the
+# pre-optimization implementation (commit 4c627d2).
+SEED_FINGERPRINTS = {
+    "rand-u1": "4a10b95766173e3567259f7050dabf07f602fa7c8d81e84344117ae90df03122",
+    "rand-u8": "205087b4bebe9d1df66166e2fa1832b21137126807b10cae8f7cd0dcc42f0d11",
+    "dup-u1": "0fbc73455e0abbd76c74c9dc4e182aa2e2fb20ac3f2a9875e168333c1931a56b",
+    "dup-u8": "5a640ea6e399190f9974fb5247027161d7bc57f63fd727e59d245f104336da7d",
+    "seq-cb-u1": "3b23cfa1ced8a54d82ecab42a3a2ed36fa99c8a8e199047d1c17ae25ed1c9fcd",
+    "seq-cb-u8": "9d317a5c9d7ec5fe13fcee2d867559de1d2c199503cc9940dcbe37f9493d753c",
+    "rand-u2-notrim": "8a686907b7638c38fcf010deeed3132932d55556ba2f884374041bdfb4c77108",
+}
+
+SCENARIOS = {
+    "rand-u1": dict(unit_pages=1, pattern="rand"),
+    "rand-u8": dict(unit_pages=8, pattern="rand"),
+    "dup-u1": dict(unit_pages=1, pattern="dup"),
+    "dup-u8": dict(unit_pages=8, pattern="dup"),
+    "seq-cb-u1": dict(unit_pages=1, pattern="seq"),
+    "seq-cb-u8": dict(unit_pages=8, pattern="seq"),
+    "rand-u2-notrim": dict(unit_pages=2, pattern="rand", with_trim=False, seed=11),
+}
+
+
+class TestSeedEquivalence:
+    """End state must be bit-identical to the pre-optimization FTL."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_matches_seed_implementation(self, name):
+        ftl = run_scenario(**SCENARIOS[name])
+        assert ftl_fingerprint(ftl) == SEED_FINGERPRINTS[name], (
+            f"scenario {name}: optimized hot paths changed simulation results"
+        )
+
+
+class _ReferenceOnlyGreedy(GreedyVictimPolicy):
+    """Greedy policy stripped of its fast paths: forces the FTL onto the
+    array-based reference ``select`` every reclaim."""
+
+    select_incremental = None
+    select_burst = None
+
+
+class TestFastPathCrossChecks:
+    def test_queue_backed_selection_matches_reference_select(self):
+        fast = run_scenario(unit_pages=1, pattern="rand")
+        reference = run_scenario(
+            unit_pages=1, pattern="rand", victim_policy=_ReferenceOnlyGreedy()
+        )
+        assert ftl_fingerprint(fast) == ftl_fingerprint(reference)
+
+    def test_batched_writes_match_sequential_writes(self):
+        """One batch == the same requests issued one at a time.
+
+        Run below GC pressure so reclaim timing cannot differ between
+        call granularities; this isolates the batch duplicate-resolution
+        and span-placement logic.
+        """
+        def fresh():
+            geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+            pkg = FlashPackage(geom, seed=9)
+            return PageMappedFTL(
+                pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.5), seed=9
+            )
+
+        rng = np.random.default_rng(9)
+        pages = 200
+        # In-batch duplicates included: last writer must win either way.
+        batches = [rng.integers(0, pages, size=64, dtype=np.int64) for _ in range(6)]
+
+        batched = fresh()
+        for lpns in batches:
+            batched.write_requests(lpns * 4 * KIB, 4 * KIB)
+
+        sequential = fresh()
+        for lpns in batches:
+            for lpn in lpns:
+                sequential.write_requests(np.array([lpn * 4 * KIB]), 4 * KIB)
+
+        assert ftl_fingerprint(batched) == ftl_fingerprint(sequential)
+
+    def test_duplicate_lpns_last_writer_wins(self):
+        """Regression test for batch duplicate resolution (issue item):
+        the LAST occurrence of a duplicated LPN must own the mapping."""
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+        pkg = FlashPackage(geom, seed=1)
+        ftl = PageMappedFTL(pkg, logical_capacity_bytes=int(geom.capacity_bytes * 0.5), seed=1)
+
+        lpns = np.array([5, 9, 5], dtype=np.int64)
+        ftl.write_requests(lpns * 4 * KIB, 4 * KIB)
+
+        ppu_5, ppu_9 = int(ftl._l2p[5]), int(ftl._l2p[9])
+        # Placement is append-order, so LPN 5's mapping must be the unit
+        # programmed AFTER LPN 9's (the batch's last occurrence).
+        assert ppu_5 == ppu_9 + 1
+        # The first occurrence's unit was programmed but superseded in-batch.
+        assert not ftl._valid[ppu_9 - 1]
+        assert ftl._valid[ppu_5] and ftl._valid[ppu_9]
+        assert int(np.count_nonzero(ftl._valid)) == 2
+        # All three requests still hit the media (duplicates are not
+        # elided from wear accounting).
+        assert ftl.stats.host_pages_programmed == 3
+        assert pkg.counters.page_programs == 3
+        assert int(ftl._p2l[ppu_5]) == 5 and int(ftl._p2l[ppu_9]) == 9
+
+    def test_burst_selection_matches_incremental(self):
+        """select_burst must reproduce select_incremental call for call
+        while its snapshot-reuse precondition holds (previous victim had
+        no live data, device-wide max P/E unchanged)."""
+        policy = GreedyVictimPolicy()
+        rng = np.random.default_rng(3)
+        n = 24
+        pe = rng.uniform(0.0, 80.0, size=n)
+        pe_max = float(pe.max())
+
+        q_burst, q_ref = VictimQueue(n, 32), VictimQueue(n, 32)
+        for b in range(n):
+            q_burst.add(b, 0)
+            q_ref.add(b, 0)
+
+        cache: dict = {}
+        for _ in range(n):
+            got = policy.select_burst(q_burst, pe, pe_max, cache)
+            want = policy.select_incremental(q_ref, pe, pe_max)
+            assert got == want
+            q_burst.discard(got)
+            q_ref.discard(want)
+        assert policy.select_burst(q_burst, pe, pe_max, cache) is None
+
+    def test_burst_cache_invalidated_by_pe_max_change(self):
+        policy = GreedyVictimPolicy()
+        rng = np.random.default_rng(4)
+        n = 12
+        pe = rng.uniform(0.0, 50.0, size=n)
+        q_burst, q_ref = VictimQueue(n, 32), VictimQueue(n, 32)
+        for b in range(n):
+            q_burst.add(b, 0)
+            q_ref.add(b, 0)
+
+        cache: dict = {}
+        pe_max = float(pe.max())
+        first = policy.select_burst(q_burst, pe, pe_max, cache)
+        q_burst.discard(first)
+        q_ref.discard(policy.select_incremental(q_ref, pe, pe_max))
+
+        # The erase pushed a block past the previous max: wear fractions
+        # rescale, so the snapshot must be discarded and rebuilt.
+        pe[first] = pe_max + 5.0
+        new_max = float(pe.max())
+        got = policy.select_burst(q_burst, pe, new_max, cache)
+        want = policy.select_incremental(q_ref, pe, new_max)
+        assert got == want
+
+
+class TestVictimQueue:
+    def test_add_discard_contains(self):
+        q = VictimQueue(8, 32)
+        assert len(q) == 0 and q.min_count() is None
+        q.add(3, 5)
+        assert len(q) == 1 and 3 in q and 4 not in q
+        assert q.min_count() == 5
+        q.discard(3)
+        assert len(q) == 0 and 3 not in q
+        q.discard(3)  # no-op, not an error
+        assert len(q) == 0
+
+    def test_re_add_does_not_double_count(self):
+        q = VictimQueue(8, 32)
+        q.add(2, 4)
+        q.add(2, 1)
+        assert len(q) == 1
+        assert q.min_count() == 1
+
+    def test_add_many_reads_per_block_counts(self):
+        q = VictimQueue(8, 32)
+        counts = np.array([9, 9, 7, 9, 2, 9, 9, 9], dtype=np.int64)
+        q.add_many([2, 4], counts)
+        assert len(q) == 2
+        assert q.min_count() == 2
+        assert list(q.candidates()) == [2, 4]
+
+    def test_update_counts_only_moves_tracked_blocks(self):
+        q = VictimQueue(8, 32)
+        q.add(1, 6)
+        q.add(5, 3)
+        q.update_counts(np.array([1, 2, 5]), np.array([4, 0, 1]))
+        assert 2 not in q
+        assert list(q.counts_of(np.array([1, 5]))) == [4, 1]
+        assert q.min_count() == 1
+
+    def test_apply_delta_hits_tracked_blocks_only(self):
+        q = VictimQueue(6, 32)
+        q.add(0, 10)
+        q.add(2, 7)
+        delta = np.array([3, 5, 2, 1, 0, 0], dtype=np.int64)
+        q.apply_delta(delta)
+        assert list(q.counts_of(np.array([0, 2]))) == [7, 5]
+        # Untracked blocks stay untracked.
+        assert 1 not in q and 3 not in q
+        assert q.min_count() == 5
+
+    def test_min_count_recovers_after_collecting_low_blocks(self):
+        # The lazily-raised minimum hint must survive a large gap between
+        # the old minimum and the next-populated count (escape path).
+        q = VictimQueue(8, 32)
+        q.add(0, 0)
+        q.add(1, 25)
+        assert q.min_count() == 0
+        q.discard(0)
+        assert q.min_count() == 25
+
+    def test_blocks_at_ascending(self):
+        q = VictimQueue(8, 32)
+        for b in (6, 1, 4):
+            q.add(b, 2)
+        assert list(q.blocks_at(2)) == [1, 4, 6]
+        assert list(q.blocks_at(3)) == []
+
+
+class TestEmptyBatches:
+    """Zero-request batches must be exact no-ops at every layer."""
+
+    def test_ftl_empty_offsets(self, small_ftl):
+        before = ftl_fingerprint(small_ftl)
+        small_ftl.write_requests(np.array([], dtype=np.int64), 4 * KIB)
+        small_ftl.read_requests(np.array([], dtype=np.int64), 4 * KIB)
+        assert ftl_fingerprint(small_ftl) == before
+
+    def test_device_empty_batch_costs_nothing(self):
+        from repro.devices import build_device
+
+        device = build_device("emmc-8gb", scale=256, seed=7)
+        assert device.write_many(np.array([], dtype=np.int64), 4 * KIB) == 0.0
+        assert device.read_many(np.array([], dtype=np.int64), 4 * KIB) == 0.0
+        assert device.host_bytes_written == 0
+        assert device.busy_seconds == 0.0
+
+    def test_filesystem_empty_batch(self):
+        from repro.devices import build_device
+        from repro.fs import Ext4Model
+
+        device = build_device("emmc-8gb", scale=256, seed=7)
+        fs = Ext4Model(device)
+        f = fs.create_file("victim.db", 1 << 20)
+        assert fs.write_requests(f, np.array([], dtype=np.int64), 4 * KIB) == 0.0
+        assert fs.app_bytes_written == 0
+        assert device.host_bytes_written == 0
