@@ -1,0 +1,102 @@
+"""Perf benchmark: campaign runner fan-out on an 8-point wear-out grid.
+
+Runs the same grid (eMMC 8GB, scale 512, ``until_level=2``, seeds 1-8)
+twice — serially and over 4 worker processes — and fingerprints each
+run with the result store's canonical digest.  Both cases share one
+expected fingerprint, so every timing run is also an end-to-end check
+of the campaign determinism contract (DESIGN.md §8): N-worker output
+must be byte-identical to serial output.
+
+On a machine with >= 4 cores the parallel case should be >= 3x faster
+than serial, and ``--check`` enforces that.  On fewer cores (this
+includes 1-core CI containers, where fan-out cannot beat serial) the
+speedup is reported but not enforced — the recorded numbers stay
+honest for whatever hardware refreshed them.
+
+Run directly:
+``PYTHONPATH=src python benchmarks/perf/bench_perf_campaign.py``
+(``--check`` for CI gating, ``--update`` to refresh the baseline).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+
+from repro.campaign import CampaignRunner, ResultStore, expand_grid
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+from benchmarks.perf.common import BenchCase, main  # noqa: E402
+
+#: Canonical store digest of the 8-point grid — identical for every
+#: worker count by the determinism contract.
+GRID_FINGERPRINT = "9ab487a63fdf6b6d295edc2dcf48089ab33104b01018f49eae1400e16f65a706"
+
+SPEEDUP_FACTOR = 3.0
+SPEEDUP_CORES = 4
+
+#: Best elapsed seconds per case, for the speedup report after main().
+_BEST = {}
+
+
+def _grid():
+    return expand_grid(
+        "bench-campaign-grid",
+        kind="wearout",
+        devices=("emmc-8gb",),
+        filesystems=("ext4",),
+        seeds=(1, 2, 3, 4, 5, 6, 7, 8),
+        scale=512,
+        until_level=2,
+        description="8-point wear-out grid for the campaign perf canary",
+    )
+
+
+def _run_grid(workers: int, case_name: str):
+    runner = CampaignRunner(_grid(), ResultStore(None))
+    start = time.perf_counter()
+    report = runner.run(workers=workers)
+    elapsed = time.perf_counter() - start
+    assert report.ran == 8, f"expected 8 points, ran {report.ran}"
+    _BEST[case_name] = min(elapsed, _BEST.get(case_name, float("inf")))
+    return elapsed, runner.store.fingerprint()
+
+
+def run_serial():
+    return _run_grid(1, "campaign_serial")
+
+
+def run_workers4():
+    return _run_grid(4, "campaign_workers4")
+
+
+CASES = [
+    BenchCase("campaign_serial", run_serial, GRID_FINGERPRINT),
+    BenchCase("campaign_workers4", run_workers4, GRID_FINGERPRINT),
+]
+
+
+def _speedup_check(check: bool) -> int:
+    serial = _BEST.get("campaign_serial")
+    parallel = _BEST.get("campaign_workers4")
+    if not serial or not parallel:
+        return 0
+    speedup = serial / parallel
+    cores = os.cpu_count() or 1
+    print(f"fan-out speedup: {speedup:.2f}x (workers=4, {cores} cores)")
+    if check and cores >= SPEEDUP_CORES and speedup < SPEEDUP_FACTOR:
+        print(f"FAIL: campaign fan-out speedup {speedup:.2f}x < {SPEEDUP_FACTOR}x "
+              f"on a {cores}-core machine")
+        return 1
+    if cores < SPEEDUP_CORES:
+        print(f"note: < {SPEEDUP_CORES} cores — speedup reported, not enforced")
+    return 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    code = main(CASES, argv)
+    code = code or _speedup_check("--check" in argv)
+    sys.exit(code)

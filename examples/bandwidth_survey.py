@@ -1,35 +1,42 @@
 #!/usr/bin/env python3
 """Figure 1 in miniature: write bandwidth vs. request size.
 
-Sweeps synchronous write request sizes from 0.5 KiB to 16 MiB on every
-catalog device, sequential and random, and prints the two Figure 1
-tables.  The shapes to look for:
+Runs the built-in ``fig1a``/``fig1b`` campaigns — the same declarative
+grids `repro campaign` and `repro figures` use — and prints the two
+Figure 1 tables.  The shapes to look for:
 
 * throughput scales with request size until internal parallelism
   saturates (§4.2);
 * eMMC random ~ sequential at mapping-unit sizes and above;
 * the microSD card collapses on small random writes.
 
-Run:  python examples/bandwidth_survey.py
+Each grid point is an independent (device x pattern x request size)
+measurement, so the campaign runner can fan them out over processes:
+
+Run:  python examples/bandwidth_survey.py [--workers N]
 """
 
-from repro import DEVICE_SPECS, sweep_block_sizes
-from repro.analysis import bandwidth_table
+import argparse
 
-DEVICES = ["usd-16gb", "emmc-8gb", "emmc-16gb", "moto-e-8gb", "samsung-s6-32gb"]
+from repro.analysis import bandwidth_table
+from repro.campaign import CampaignRunner, ResultStore, get_campaign, ordered_records
+from repro.workloads import BandwidthPoint
 
 
 def main() -> None:
-    for pattern, title in (("seq", "Sequential Write"), ("rand", "Random Write")):
-        points = []
-        for key in DEVICES:
-            spec = DEVICE_SPECS[key]
-            points.extend(
-                sweep_block_sizes(
-                    lambda spec=spec: spec.build(scale=256, seed=1), pattern, seed=1
-                )
-            )
-        print(f"--- Figure 1{'a' if pattern == 'seq' else 'b'}: {title} (MiB/s) ---")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    args = parser.parse_args()
+
+    for name, title in (("fig1a", "Sequential Write"), ("fig1b", "Random Write")):
+        campaign = get_campaign(name)
+        store = ResultStore(None)  # in-memory; `repro campaign` persists
+        CampaignRunner(campaign, store).run(workers=args.workers)
+        points = [
+            BandwidthPoint.from_dict(record["result"])
+            for record in ordered_records(store, campaign)
+        ]
+        print(f"--- Figure 1{'a' if name == 'fig1a' else 'b'}: {title} (MiB/s) ---")
         print(bandwidth_table(points))
         print()
 

@@ -98,6 +98,15 @@ from repro.workloads import (
     measure_bandwidth,
     sweep_block_sizes,
 )
+from repro.campaign import (
+    CAMPAIGNS,
+    CampaignRunner,
+    CampaignSpec,
+    PointSpec,
+    ResultStore,
+    expand_grid,
+    get_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -126,6 +135,9 @@ __all__ = [
     # workloads
     "FileRewriteWorkload", "fill_static_space",
     "measure_bandwidth", "sweep_block_sizes", "BandwidthPoint",
+    # campaigns
+    "CampaignSpec", "PointSpec", "CampaignRunner", "ResultStore",
+    "CAMPAIGNS", "get_campaign", "expand_grid",
     # errors
     "ReproError", "ConfigurationError", "DeviceError", "DeviceWornOut",
     "DeviceBricked", "UncorrectableError", "ReadOnlyError", "OutOfSpaceError",

@@ -1,0 +1,40 @@
+"""Campaigns: declarative experiment grids, run process-parallel.
+
+The paper's artifacts are grids of independent experiment points; this
+package industrializes them (uFLIP-style: run the whole pattern x size
+grid systematically, not point by point).
+
+* :mod:`repro.campaign.spec` — grids and content-hashed point specs;
+* :mod:`repro.campaign.runner` — the multiprocessing fan-out with
+  deterministic, scheduling-independent seeding;
+* :mod:`repro.campaign.store` — the resumable JSON-lines result store;
+* :mod:`repro.campaign.registry` — built-in campaigns (fig1a..table1)
+  and the store -> ``results/*.txt`` figure renderers.
+"""
+
+from repro.campaign.registry import CAMPAIGNS, FIGURES, get_campaign, ordered_records
+from repro.campaign.runner import CampaignReport, CampaignRunner, run_point
+from repro.campaign.spec import (
+    CampaignSpec,
+    PointSpec,
+    expand_grid,
+    point_key,
+    resolve_seed,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "PointSpec",
+    "expand_grid",
+    "point_key",
+    "resolve_seed",
+    "CampaignRunner",
+    "CampaignReport",
+    "run_point",
+    "ResultStore",
+    "CAMPAIGNS",
+    "FIGURES",
+    "get_campaign",
+    "ordered_records",
+]

@@ -1,0 +1,232 @@
+"""Built-in campaign definitions and figure renderers.
+
+One campaign per paper artifact, with the exact device/scale/seed
+parameters the benchmark suite uses — so ``repro figures`` regenerates
+the committed ``results/*.txt`` artifacts from a stored campaign
+without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.analysis import ascii_series, bandwidth_table, format_table, increments_table, table1_rows
+from repro.campaign.spec import CampaignSpec, PointSpec, expand_grid
+from repro.campaign.store import ResultStore
+from repro.core.results import WearOutResult
+from repro.errors import ConfigurationError
+from repro.units import KIB
+from repro.workloads.microbench import FIGURE1_BLOCK_SIZES, BandwidthPoint
+
+#: Figure 1's five device curves, in the paper's legend order.
+FIG1_DEVICES = ["usd-16gb", "emmc-8gb", "emmc-16gb", "moto-e-8gb", "samsung-s6-32gb"]
+
+#: Figure 3's series, top bar first.
+FIG3_SERIES = [
+    ("Samsung S6 32GB", "samsung-s6-32gb", "ext4"),
+    ("Moto E 8GB F2FS", "moto-e-8gb", "f2fs"),
+    ("Moto E 8GB", "moto-e-8gb", "ext4"),
+    ("eMMC 16GB", "emmc-16gb", "ext4"),
+    ("eMMC 8GB", "emmc-8gb", "ext4"),
+]
+
+
+def _fig1_campaign(name: str, pattern: str) -> CampaignSpec:
+    return expand_grid(
+        name,
+        kind="bandwidth",
+        devices=FIG1_DEVICES,
+        patterns=(pattern,),
+        request_sizes=tuple(FIGURE1_BLOCK_SIZES),
+        seeds=(1,),
+        scale=256,
+        description=f"Figure 1{'a' if pattern == 'seq' else 'b'}: "
+        f"{'sequential' if pattern == 'seq' else 'random'} write bandwidth sweep",
+    )
+
+
+def _fig2_campaign() -> CampaignSpec:
+    points = (
+        PointSpec(kind="wearout", device="emmc-8gb", scale=512, seed=7,
+                  filesystem="ext4", until_level=11, label="eMMC 8GB"),
+        PointSpec(kind="wearout", device="emmc-16gb", scale=512, seed=7,
+                  filesystem="ext4", until_level=4, label="eMMC 16GB"),
+    )
+    return CampaignSpec(
+        name="fig2", points=points,
+        description="Figure 2: I/O volume per wear-out increment, both eMMC chips",
+    )
+
+
+def _fig3_campaign() -> CampaignSpec:
+    points = tuple(
+        PointSpec(kind="wearout", device=device, scale=256, seed=7,
+                  filesystem=fs, until_level=2, label=label)
+        for label, device, fs in FIG3_SERIES
+    )
+    return CampaignSpec(
+        name="fig3", points=points,
+        description="Figure 3: time to the first wear-indicator increment per device",
+    )
+
+
+def _fig4_campaign() -> CampaignSpec:
+    points = tuple(
+        PointSpec(kind="wearout", device="moto-e-8gb", scale=256, seed=7,
+                  filesystem=fs, until_level=4, label=fs)
+        for fs in ("ext4", "f2fs")
+    )
+    return CampaignSpec(
+        name="fig4", points=points,
+        description="Figure 4: app I/O volume per increment, Ext4 vs F2FS",
+    )
+
+
+def _table1_campaign() -> CampaignSpec:
+    points = (
+        PointSpec(kind="table1", device="emmc-16gb", scale=256, seed=5,
+                  filesystem="ext4", label="eMMC 16GB"),
+    )
+    return CampaignSpec(
+        name="table1", points=points,
+        description="Table 1: hybrid Type A/B indicators across the phase protocol",
+    )
+
+
+def _phone_campaign() -> CampaignSpec:
+    return expand_grid(
+        "phone-attacks",
+        kind="phone",
+        devices=("moto-e-8gb",),
+        filesystems=("ext4", "f2fs"),
+        strategies=("naive", "stealthy"),
+        seeds=(11,),
+        scale=256,
+        hours=24.0,
+        description="§4.4: attack strategies x filesystems on the Moto E phone model",
+    )
+
+
+def _smoke_campaign() -> CampaignSpec:
+    """Two fast wear-out points — CI's campaign smoke grid."""
+    return expand_grid(
+        "smoke",
+        kind="wearout",
+        devices=("emmc-8gb",),
+        filesystems=("ext4",),
+        seeds=(7, 8),
+        scale=512,
+        until_level=2,
+        description="2-point smoke grid for CI (run, then resume with 0 points)",
+    )
+
+
+CAMPAIGNS: Dict[str, CampaignSpec] = {
+    spec.name: spec
+    for spec in (
+        _fig1_campaign("fig1a", "seq"),
+        _fig1_campaign("fig1b", "rand"),
+        _fig2_campaign(),
+        _fig3_campaign(),
+        _fig4_campaign(),
+        _table1_campaign(),
+        _phone_campaign(),
+        _smoke_campaign(),
+    )
+}
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    """Look up a built-in campaign by name (e.g. ``"fig1a"``)."""
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown campaign {name!r}; available: {', '.join(sorted(CAMPAIGNS))}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Figure rendering: stored campaign -> results/*.txt artifacts
+# ----------------------------------------------------------------------
+
+
+def ordered_records(store: ResultStore, campaign: CampaignSpec) -> List[Dict[str, Any]]:
+    """The campaign's records in *spec* order (the store itself orders
+    by content key).  Raises if any point hasn't been run yet."""
+    records, missing = [], []
+    for key, point in campaign.keyed_points():
+        record = store.get(key)
+        if record is None:
+            missing.append(point.display)
+        else:
+            records.append(record)
+    if missing:
+        raise ConfigurationError(
+            f"campaign {campaign.name!r} store is missing {len(missing)} of "
+            f"{len(campaign)} points (e.g. {missing[0]}); run "
+            f"`repro campaign {campaign.name}` first"
+        )
+    return records
+
+
+def _wearout_results(records: List[Dict[str, Any]]) -> List[WearOutResult]:
+    return [WearOutResult.from_dict(r["result"]) for r in records]
+
+
+def _render_fig1(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
+    records = ordered_records(store, campaign)
+    points = [BandwidthPoint.from_dict(r["result"]) for r in records]
+    pattern = campaign.points[0].pattern
+    name = f"fig1a_bandwidth_seq" if pattern == "seq" else "fig1b_bandwidth_rand"
+    return {name: bandwidth_table(points)}
+
+
+def _render_fig2(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
+    emmc8, emmc16 = _wearout_results(ordered_records(store, campaign))
+    return {
+        "fig2_emmc8_wear_volume": increments_table(emmc8),
+        "fig2_emmc16_wear_volume": increments_table(emmc16, "B"),
+    }
+
+
+def _render_fig3(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
+    records = ordered_records(store, campaign)
+    labels = [p.label for p in campaign.points]
+    hours = [
+        WearOutResult.from_dict(r["result"]).increments[0].hours for r in records
+    ]
+    return {"fig3_time_to_increment": ascii_series(labels, hours, unit=" h")}
+
+
+def _render_fig4(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
+    records = ordered_records(store, campaign)
+    rows = []
+    for point, record in zip(campaign.points, records):
+        result = WearOutResult.from_dict(record["result"])
+        for rec in result.increments:
+            rows.append([
+                point.label, rec.label, f"{rec.app_gib:.1f}",
+                f"{rec.host_gib:.1f}", f"{rec.hours:.1f}",
+            ])
+    table = format_table(["FS", "Indicator", "App GiB", "Device GiB", "Hours"], rows)
+    return {"fig4_ext4_vs_f2fs": table}
+
+
+def _render_table1(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
+    (record,) = ordered_records(store, campaign)
+    result = WearOutResult.from_dict(record["result"])
+    return {"table1_hybrid_wear": table1_rows(result)}
+
+
+#: Campaigns with a figure artifact, mapped to their renderer.  Each
+#: renderer returns {artifact stem: text}; `repro figures` writes them
+#: to ``results/<stem>.txt``.
+FIGURES: Dict[str, Callable[[ResultStore, CampaignSpec], Dict[str, str]]] = {
+    "fig1a": _render_fig1,
+    "fig1b": _render_fig1,
+    "fig2": _render_fig2,
+    "fig3": _render_fig3,
+    "fig4": _render_fig4,
+    "table1": _render_table1,
+}

@@ -1,0 +1,192 @@
+"""Declarative experiment grids.
+
+A *campaign* is a grid of independent experiment points — device x
+pattern x request size x filesystem x strategy x seed — expanded from a
+spec.  Every point is self-describing (workers rebuild the device from
+its catalog key, so nothing unpicklable crosses a process boundary) and
+content-addressed: :func:`point_key` hashes the point's canonical JSON
+form, which keys the result store and makes checkpoint/resume and
+byte-identity comparisons trivial (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import DEFAULT_SEED, substream_seed
+from repro.units import KIB
+
+#: Experiment kinds the runner knows how to execute.
+POINT_KINDS = ("bandwidth", "wearout", "table1", "phone")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One experiment point of a campaign grid.
+
+    Attributes:
+        kind: Experiment type, one of :data:`POINT_KINDS`.
+        device: Device catalog key (``repro.devices.DEVICE_SPECS``).
+        scale: Capacity scale factor for the device build.
+        seed: Explicit RNG seed, or None to derive one from the
+            campaign's base seed and this point's content hash.
+        pattern: "rand" or "seq" (bandwidth and wearout kinds).
+        request_bytes: Per-request size.
+        filesystem: "ext4", "f2fs", or None (bandwidth runs raw;
+            other kinds fall back to the device's default filesystem).
+        until_level: Wear-indicator level that ends a wearout run.
+        num_files: Rewrite targets for the wearout workload.
+        strategy: Attack strategy for phone points ("naive"/"stealthy").
+        hours: Simulated phone time for phone points.
+        label: Display label for figure rendering (e.g. Figure 3's
+            series names); part of the point's identity.
+    """
+
+    kind: str
+    device: str
+    scale: int = 256
+    seed: Optional[int] = None
+    pattern: str = "rand"
+    request_bytes: int = 4 * KIB
+    filesystem: Optional[str] = None
+    until_level: int = 2
+    num_files: int = 4
+    strategy: Optional[str] = None
+    hours: float = 24.0
+    label: str = ""
+
+    def __post_init__(self):
+        if self.kind not in POINT_KINDS:
+            raise ConfigurationError(
+                f"unknown point kind {self.kind!r}; available: {', '.join(POINT_KINDS)}"
+            )
+        if self.pattern not in ("rand", "seq"):
+            raise ConfigurationError(f"unknown pattern {self.pattern!r}")
+        if self.scale < 1:
+            raise ConfigurationError("scale must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (the content that gets hashed)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PointSpec":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+    @property
+    def display(self) -> str:
+        """Short human-readable identity for progress lines."""
+        parts = [self.kind, self.device]
+        if self.filesystem:
+            parts.append(self.filesystem)
+        if self.kind in ("bandwidth", "wearout"):
+            parts.append(self.pattern)
+            parts.append(f"{self.request_bytes}B")
+        if self.strategy:
+            parts.append(self.strategy)
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return ":".join(str(p) for p in parts)
+
+
+def point_key(spec: PointSpec) -> str:
+    """Content hash of a point spec — the result store's key.
+
+    Canonical JSON (sorted keys, no whitespace variance) through sha256;
+    two specs get the same key iff every semantic field matches.
+    """
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def resolve_seed(spec: PointSpec, base_seed: int) -> int:
+    """The seed a point actually runs with.
+
+    Explicit spec seeds win (built-in campaigns pin the exact seeds the
+    benchmark suite uses, so regenerated figures match the committed
+    artifacts).  Otherwise the seed is derived from the campaign's base
+    seed and the point's content hash via ``repro.rng.substream`` — a
+    pure function of (base_seed, point), so any worker, in any
+    scheduling order, computes the same seed the serial run would.
+    """
+    if spec.seed is not None:
+        return spec.seed
+    return substream_seed(base_seed, f"campaign-point:{point_key(spec)}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered grid of experiment points.
+
+    Point order is part of the spec: figure renderers follow it (the
+    Figure 1 table lists devices in sweep order), while the result store
+    orders by content key so completion order never matters.
+    """
+
+    name: str
+    points: Tuple[PointSpec, ...]
+    base_seed: int = DEFAULT_SEED
+    description: str = ""
+
+    def __post_init__(self):
+        keys = [point_key(p) for p in self.points]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                f"campaign {self.name!r} contains duplicate points"
+            )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def keyed_points(self) -> Tuple[Tuple[str, PointSpec], ...]:
+        """(content key, point) pairs in campaign order."""
+        return tuple((point_key(p), p) for p in self.points)
+
+    def subset(self, count: int) -> "CampaignSpec":
+        """The first ``count`` points as a campaign of their own
+        (used by tests to simulate an interrupted run)."""
+        return replace(self, points=self.points[:count])
+
+
+def expand_grid(
+    name: str,
+    kind: str,
+    devices: Sequence[str],
+    patterns: Sequence[str] = ("rand",),
+    request_sizes: Sequence[int] = (4 * KIB,),
+    filesystems: Sequence[Optional[str]] = (None,),
+    strategies: Sequence[Optional[str]] = (None,),
+    seeds: Iterable[Optional[int]] = (None,),
+    base_seed: int = DEFAULT_SEED,
+    description: str = "",
+    **fixed: Any,
+) -> CampaignSpec:
+    """Expand axis lists into a full-factorial :class:`CampaignSpec`.
+
+    Axis order (device-major, seeds innermost) fixes point order, which
+    in turn fixes rendering order.  ``fixed`` keywords pass through to
+    every :class:`PointSpec` (e.g. ``scale=512, until_level=2``).
+    """
+    points = [
+        PointSpec(
+            kind=kind,
+            device=device,
+            pattern=pattern,
+            request_bytes=size,
+            filesystem=fs,
+            strategy=strategy,
+            seed=seed,
+            **fixed,
+        )
+        for device, pattern, size, fs, strategy, seed in itertools.product(
+            devices, patterns, request_sizes, filesystems, strategies, seeds
+        )
+    ]
+    return CampaignSpec(
+        name=name, points=tuple(points), base_seed=base_seed, description=description
+    )

@@ -3,16 +3,21 @@
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
 from repro.analysis import bandwidth_table, format_table, increments_table
 from repro.android import Phone, WearAttackApp
+from repro.campaign import CAMPAIGNS, FIGURES, CampaignRunner, ResultStore, get_campaign
 from repro.core import WearOutExperiment, estimate_lifetime
 from repro.devices import DEVICE_SPECS, build_device
+from repro.errors import ConfigurationError
 from repro.fs import make_filesystem
 from repro.units import GIB, HOUR, KIB, MIB, parse_size
 from repro.workloads import FileRewriteWorkload, sweep_block_sizes
+
+DEFAULT_STORE_DIR = "results/campaign_store"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +57,48 @@ def build_parser() -> argparse.ArgumentParser:
     phone.add_argument("--hours", type=float, default=72.0, help="simulated phone time")
     phone.add_argument("--scale", type=int, default=128)
     phone.add_argument("--seed", type=int, default=11)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment grid over a worker pool",
+        description="Runs every point of a built-in campaign, fanning out over "
+        "N worker processes.  Completed points stream into a resumable "
+        "JSON-lines store; rerunning skips them (see DESIGN.md §8).",
+    )
+    camp.add_argument("name", choices=sorted(CAMPAIGNS), help="campaign to run")
+    camp.add_argument("--workers", type=int, default=1, help="worker processes")
+    camp.add_argument(
+        "--fresh", action="store_true",
+        help="invalidate the store and re-run every point (default: resume)",
+    )
+    camp.add_argument(
+        "--resume", action="store_true",
+        help="resume from the store (the default; spelled out for scripts)",
+    )
+    camp.add_argument(
+        "--store-dir", default=DEFAULT_STORE_DIR,
+        help=f"directory of per-campaign JSONL stores (default: {DEFAULT_STORE_DIR})",
+    )
+    camp.add_argument("--quiet", action="store_true", help="suppress per-point lines")
+
+    figs = sub.add_parser(
+        "figures",
+        help="regenerate results/*.txt artifacts from stored campaigns",
+        description="Renders the paper-figure artifacts from completed campaign "
+        "stores — no re-simulation.  With --run, first executes any campaign "
+        "whose store is missing points.",
+    )
+    figs.add_argument(
+        "--campaign", action="append", choices=sorted(FIGURES), dest="campaigns",
+        help="figure campaign(s) to render (default: all of them)",
+    )
+    figs.add_argument(
+        "--run", action="store_true",
+        help="run campaigns with incomplete stores before rendering",
+    )
+    figs.add_argument("--workers", type=int, default=1, help="worker processes for --run")
+    figs.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    figs.add_argument("--out", default="results", help="artifact output directory")
 
     return parser
 
@@ -144,12 +191,54 @@ def cmd_phone(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_for(store_dir: str, campaign_name: str) -> ResultStore:
+    return ResultStore(pathlib.Path(store_dir) / f"{campaign_name}.jsonl")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    spec = get_campaign(args.name)
+    store = _store_for(args.store_dir, args.name)
+    progress = None if args.quiet else print
+    report = CampaignRunner(spec, store).run(
+        workers=args.workers, fresh=args.fresh, progress=progress
+    )
+    print(report.describe())
+    print(f"store: {store.path} ({len(store)} points, fingerprint {store.fingerprint()[:16]})")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = args.campaigns or sorted(FIGURES)
+    out_dir = pathlib.Path(args.out)
+    failures = 0
+    for name in names:
+        spec = get_campaign(name)
+        store = _store_for(args.store_dir, name)
+        if args.run:
+            report = CampaignRunner(spec, store).run(workers=args.workers)
+            print(report.describe())
+        try:
+            artifacts = FIGURES[name](store, spec)
+        except ConfigurationError as exc:
+            print(f"SKIP {name}: {exc}")
+            failures += 1
+            continue
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for stem, text in artifacts.items():
+            path = out_dir / f"{stem}.txt"
+            path.write_text(text + "\n")
+            print(f"wrote {path}")
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "devices": cmd_devices,
     "estimate": cmd_estimate,
     "bandwidth": cmd_bandwidth,
     "wearout": cmd_wearout,
     "phone": cmd_phone,
+    "campaign": cmd_campaign,
+    "figures": cmd_figures,
 }
 
 

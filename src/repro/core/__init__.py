@@ -9,7 +9,15 @@ from repro.core.clock import SimClock
 from repro.core.estimator import BackOfEnvelopeEstimate, estimate_lifetime
 from repro.core.results import IncrementRecord, WearOutResult
 from repro.core.experiment import WearOutExperiment
-from repro.core.tracing import IoEvent, IoTrace, TracingDevice, replay
+from repro.core.tracing import (
+    IoEvent,
+    IoTrace,
+    Span,
+    SpanRecorder,
+    TracingDevice,
+    replay,
+    worker_utilization,
+)
 
 __all__ = [
     "SimClock",
@@ -22,4 +30,7 @@ __all__ = [
     "IoTrace",
     "TracingDevice",
     "replay",
+    "Span",
+    "SpanRecorder",
+    "worker_utilization",
 ]

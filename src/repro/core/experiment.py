@@ -59,19 +59,8 @@ class WearOutExperiment:
         """
         self._prime_markers()
         for _ in range(max_steps):
-            try:
-                duration, app_bytes = self.workload.step()
-            except (DeviceWornOut, ReadOnlyError, OutOfSpaceError, UncorrectableError):
-                self.result.bricked = True
-                break
-            self.clock.advance(duration)
-            # Durations, like volumes, are per-scaled-capacity and are
-            # reported at full-device equivalents (DESIGN.md §6).
-            self.result.total_seconds += duration * self.device.scale
-            self.result.total_app_bytes += app_bytes * self.device.scale
-            indicators = self.device.wear_indicators()
-            self._record_increments(indicators)
-            if self._any_at_level(until_level, indicators):
+            indicators = self._step_once()
+            if indicators is None or self._any_at_level(until_level, indicators):
                 break
         self.result.total_host_bytes = self.device.host_bytes_written * self.device.scale
         return self.result
@@ -86,21 +75,36 @@ class WearOutExperiment:
         self._prime_markers()
         before = len(self.result.increments_for(memory_type))
         for _ in range(max_steps):
-            try:
-                duration, app_bytes = self.workload.step()
-            except (DeviceWornOut, ReadOnlyError, OutOfSpaceError, UncorrectableError):
-                self.result.bricked = True
+            if self._step_once() is None:
                 return None
-            self.clock.advance(duration)
-            self.result.total_seconds += duration * self.device.scale
-            self.result.total_app_bytes += app_bytes * self.device.scale
-            self._record_increments(self.device.wear_indicators())
             records = self.result.increments_for(memory_type)
             if len(records) > before:
                 return records[-1]
         return None
 
     # ------------------------------------------------------------------
+
+    def _step_once(self) -> Optional[Dict[str, "WearIndicator"]]:
+        """One workload batch: advance time, accumulate volumes, record
+        any indicator crossings.
+
+        Returns the per-step indicator reading (read once and shared
+        with the callers' termination checks), or None if the device
+        failed — in which case ``result.bricked`` is set.
+        """
+        try:
+            duration, app_bytes = self.workload.step()
+        except (DeviceWornOut, ReadOnlyError, OutOfSpaceError, UncorrectableError):
+            self.result.bricked = True
+            return None
+        self.clock.advance(duration)
+        # Durations, like volumes, are per-scaled-capacity and are
+        # reported at full-device equivalents (DESIGN.md §6).
+        self.result.total_seconds += duration * self.device.scale
+        self.result.total_app_bytes += app_bytes * self.device.scale
+        indicators = self.device.wear_indicators()
+        self._record_increments(indicators)
+        return indicators
 
     def _prime_markers(self) -> None:
         for mem_type, indicator in self.device.wear_indicators().items():

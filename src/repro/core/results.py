@@ -9,8 +9,8 @@ back in, DESIGN.md §6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 from repro.units import GIB, HOUR
 
@@ -58,6 +58,18 @@ class IncrementRecord:
         """The paper's "n-m" increment label, e.g. "1-2"."""
         return f"{self.from_level}-{self.to_level}"
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON storage (campaign result store).
+
+        Floats survive ``json.dumps``/``loads`` exactly (repr-based), so
+        ``from_dict(json.loads(json.dumps(to_dict())))`` is lossless.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IncrementRecord":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
 
 @dataclass
 class WearOutResult:
@@ -94,4 +106,29 @@ class WearOutResult:
         return (
             f"{self.device_name}{fs}: {state} after {self.total_app_bytes / GIB:.0f} GiB "
             f"app writes in {self.total_hours:.1f} h"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON storage; see
+        :meth:`IncrementRecord.to_dict` for the exactness guarantee."""
+        return {
+            "device_name": self.device_name,
+            "filesystem": self.filesystem,
+            "increments": [rec.to_dict() for rec in self.increments],
+            "bricked": self.bricked,
+            "total_seconds": self.total_seconds,
+            "total_app_bytes": self.total_app_bytes,
+            "total_host_bytes": self.total_host_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WearOutResult":
+        return cls(
+            device_name=data["device_name"],
+            filesystem=data["filesystem"],
+            increments=[IncrementRecord.from_dict(rec) for rec in data["increments"]],
+            bricked=data["bricked"],
+            total_seconds=data["total_seconds"],
+            total_app_bytes=data["total_app_bytes"],
+            total_host_bytes=data["total_host_bytes"],
         )

@@ -9,6 +9,7 @@ changes how many samples it draws.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Union
 
 import numpy as np
@@ -16,6 +17,18 @@ import numpy as np
 SeedLike = Union[int, np.random.Generator, None]
 
 DEFAULT_SEED = 0x5EED
+
+
+def _label_material(label: str) -> int:
+    """Stable 32-bit digest of a component label.
+
+    ``hash(str)`` is randomized per interpreter process (PYTHONHASHSEED),
+    so it must never enter seed material: campaign workers have to derive
+    the exact same streams as a serial run in the parent process, and a
+    rerun tomorrow has to match a run today.  CRC32 is stable across
+    processes, platforms, and Python versions.
+    """
+    return zlib.crc32(label.encode("utf-8"))
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -38,8 +51,19 @@ def substream(seed: SeedLike, label: str) -> np.random.Generator:
         child_seed = int(seed.integers(0, 2**63 - 1))
     else:
         child_seed = DEFAULT_SEED if seed is None else int(seed)
-    material = (child_seed, abs(hash(label)) % (2**32))
+    material = (child_seed, _label_material(label))
     return np.random.default_rng(material)
+
+
+def substream_seed(seed: SeedLike, label: str) -> int:
+    """Derive a plain-int seed for a named component.
+
+    The campaign runner uses this to give every experiment point its own
+    seed: the derivation depends only on the base seed and the label, so
+    any worker process — regardless of scheduling — computes the same
+    seed for the same point (DESIGN.md §8).
+    """
+    return int(substream(seed, label).integers(0, 2**63 - 1))
 
 
 def optional_seed(seed: SeedLike) -> Optional[int]:

@@ -9,8 +9,8 @@ curve rather than garbage-collection pressure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Sequence
 
 from repro.devices.interface import BlockDevice
 from repro.errors import ConfigurationError
@@ -37,6 +37,14 @@ class BandwidthPoint:
     pattern: str
     request_bytes: int
     mib_per_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; JSON round-trips every field exactly."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BandwidthPoint":
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
 
 
 def measure_bandwidth(
@@ -75,6 +83,15 @@ def measure_bandwidth(
 
     offsets = gen.next_batch(count)
     duration = device.write_many(offsets, request_bytes)
+    if duration <= 0.0:
+        # Scaled-down devices with fast perf curves can report 0.0 for a
+        # tiny volume; dividing through would raise ZeroDivisionError (or
+        # report infinite bandwidth, which is worse).
+        raise ConfigurationError(
+            f"device reported a non-positive duration ({duration!r}s) for "
+            f"{count} x {request_bytes} B writes; raise volume_bytes so the "
+            "benchmark writes enough to get a measurable duration"
+        )
     total = count * request_bytes
     return BandwidthPoint(
         device_name=device.name,

@@ -1,0 +1,141 @@
+"""Tests for campaign grids, content-hash keys, and seed derivation."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    PointSpec,
+    expand_grid,
+    point_key,
+    resolve_seed,
+)
+from repro.errors import ConfigurationError
+from repro.rng import substream_seed
+from repro.units import KIB
+
+
+def wearout_point(**overrides):
+    params = dict(kind="wearout", device="emmc-8gb", scale=512, until_level=2)
+    params.update(overrides)
+    return PointSpec(**params)
+
+
+class TestPointSpec:
+    def test_roundtrips_through_dict(self):
+        point = wearout_point(filesystem="f2fs", seed=7, label="x")
+        assert PointSpec.from_dict(point.to_dict()) == point
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            PointSpec(kind="quantum", device="emmc-8gb")
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            wearout_point(pattern="zigzag")
+
+    def test_display_names_the_point(self):
+        point = wearout_point(filesystem="ext4", seed=7)
+        assert "wearout" in point.display
+        assert "emmc-8gb" in point.display
+        assert "seed=7" in point.display
+
+
+class TestPointKey:
+    def test_stable_for_equal_specs(self):
+        assert point_key(wearout_point()) == point_key(wearout_point())
+
+    def test_any_semantic_field_changes_the_key(self):
+        base = point_key(wearout_point())
+        assert point_key(wearout_point(seed=9)) != base
+        assert point_key(wearout_point(scale=256)) != base
+        assert point_key(wearout_point(filesystem="f2fs")) != base
+        assert point_key(wearout_point(label="fig3")) != base
+
+    def test_key_is_short_hex(self):
+        key = point_key(wearout_point())
+        assert len(key) == 16
+        int(key, 16)  # hex-parseable
+
+    def test_pinned_cross_process_value(self):
+        # The store is keyed by this; a drift would orphan every
+        # previously stored result.
+        assert point_key(wearout_point()) == point_key(
+            PointSpec.from_dict(wearout_point().to_dict())
+        )
+
+
+class TestResolveSeed:
+    def test_explicit_seed_wins(self):
+        assert resolve_seed(wearout_point(seed=7), base_seed=123) == 7
+
+    def test_derived_seed_is_pure_function_of_base_and_point(self):
+        point = wearout_point(seed=None)
+        a = resolve_seed(point, base_seed=123)
+        b = resolve_seed(point, base_seed=123)
+        assert a == b
+        assert a == substream_seed(123, f"campaign-point:{point_key(point)}")
+
+    def test_derived_seed_varies_by_point_and_base(self):
+        p1, p2 = wearout_point(seed=None), wearout_point(seed=None, scale=256)
+        assert resolve_seed(p1, 123) != resolve_seed(p2, 123)
+        assert resolve_seed(p1, 123) != resolve_seed(p1, 124)
+
+
+class TestCampaignSpec:
+    def test_duplicate_points_rejected(self):
+        point = wearout_point()
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="dup", points=(point, point))
+
+    def test_keyed_points_preserve_order(self):
+        spec = expand_grid(
+            "g", kind="wearout", devices=("emmc-8gb", "emmc-16gb"), seeds=(1, 2),
+            scale=512, until_level=2,
+        )
+        devices = [p.device for _, p in spec.keyed_points()]
+        assert devices == ["emmc-8gb", "emmc-8gb", "emmc-16gb", "emmc-16gb"]
+
+    def test_subset_prefix(self):
+        spec = expand_grid(
+            "g", kind="wearout", devices=("emmc-8gb",), seeds=(1, 2, 3),
+            scale=512, until_level=2,
+        )
+        sub = spec.subset(2)
+        assert sub.points == spec.points[:2]
+        assert sub.name == spec.name
+
+
+class TestExpandGrid:
+    def test_full_factorial_count(self):
+        spec = expand_grid(
+            "g",
+            kind="bandwidth",
+            devices=("emmc-8gb", "usd-16gb"),
+            patterns=("seq", "rand"),
+            request_sizes=(4 * KIB, 64 * KIB),
+            seeds=(1,),
+            scale=256,
+        )
+        assert len(spec) == 8
+
+    def test_fixed_kwargs_reach_every_point(self):
+        spec = expand_grid(
+            "g", kind="wearout", devices=("emmc-8gb",), seeds=(1,),
+            scale=512, until_level=3, num_files=2,
+        )
+        (point,) = spec.points
+        assert point.scale == 512
+        assert point.until_level == 3
+        assert point.num_files == 2
+
+    def test_strategy_and_filesystem_axes(self):
+        spec = expand_grid(
+            "g", kind="phone", devices=("moto-e-8gb",),
+            filesystems=("ext4", "f2fs"), strategies=("naive", "stealthy"),
+            seeds=(11,), scale=256,
+        )
+        combos = {(p.filesystem, p.strategy) for p in spec.points}
+        assert combos == {
+            ("ext4", "naive"), ("ext4", "stealthy"),
+            ("f2fs", "naive"), ("f2fs", "stealthy"),
+        }

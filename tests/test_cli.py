@@ -69,3 +69,54 @@ class TestPhone:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCampaign:
+    def test_smoke_run_then_resume(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "stores")
+        assert main(["campaign", "smoke", "--store-dir", store_dir, "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert "ran=2" in first and "skipped=0" in first
+        assert "fingerprint" in first
+
+        assert main(["campaign", "smoke", "--store-dir", store_dir,
+                     "--resume", "--quiet"]) == 0
+        second = capsys.readouterr().out
+        assert "ran=0" in second and "skipped=2" in second
+
+    def test_fresh_reruns_everything(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "stores")
+        main(["campaign", "smoke", "--store-dir", store_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "smoke", "--store-dir", store_dir,
+                     "--fresh", "--quiet"]) == 0
+        assert "ran=2" in capsys.readouterr().out
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "fig99"])
+
+
+class TestFigures:
+    def test_empty_store_skips_and_fails(self, capsys, tmp_path):
+        code = main(["figures", "--campaign", "fig2",
+                     "--store-dir", str(tmp_path / "stores"),
+                     "--out", str(tmp_path / "out")])
+        assert code == 1
+        assert "SKIP fig2" in capsys.readouterr().out
+
+    def test_run_then_render_writes_artifacts(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "stores")
+        out_dir = tmp_path / "out"
+        assert main(["figures", "--campaign", "fig1a", "--run",
+                     "--store-dir", store_dir, "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        artifact = out_dir / "fig1a_bandwidth_seq.txt"
+        assert artifact.exists()
+        assert "MiB/s" in artifact.read_text() or "4KiB" in artifact.read_text()
+
+        # Second invocation renders purely from the store (ran=0).
+        assert main(["figures", "--campaign", "fig1a", "--run",
+                     "--store-dir", store_dir, "--out", str(out_dir)]) == 0
+        assert "ran=0" in capsys.readouterr().out

@@ -108,3 +108,122 @@ class TestBrickPath:
         result = exp.run(until_level=99)  # unreachable: run to death
         assert result.bricked
         assert result.final_level == 11
+
+
+class _ScriptedIndicator:
+    """Stands in for a WearIndicator: just a mutable level."""
+
+    def __init__(self, level=1):
+        self.level = level
+
+
+class _ScriptedDevice:
+    """Deterministic device double for pinning the experiment loop.
+
+    The wear indicator advances one level every ``steps_per_level``
+    workload steps; ``host_bytes_written`` grows by a fixed amount per
+    step.  ``scale`` is non-trivial so rescaling stays observable.
+    """
+
+    name = "scripted"
+    scale = 4
+
+    def __init__(self, steps_per_level=3, host_bytes_per_step=1000):
+        self._indicator = _ScriptedIndicator()
+        self._steps = 0
+        self._steps_per_level = steps_per_level
+        self._host_per_step = host_bytes_per_step
+        self.host_bytes_written = 0
+
+    def tick(self):
+        self._steps += 1
+        self.host_bytes_written += self._host_per_step
+        self._indicator.level = 1 + self._steps // self._steps_per_level
+
+    def wear_indicators(self):
+        return {"A": self._indicator}
+
+
+class _ScriptedWorkload:
+    """Fixed (duration, bytes) per step; optionally bricks at a step."""
+
+    description = "scripted"
+    space_utilization = 0.5
+
+    def __init__(self, device, brick_at=None):
+        self._device = device
+        self._step = 0
+        self._brick_at = brick_at
+
+    def step(self):
+        from repro.errors import DeviceWornOut
+
+        self._step += 1
+        if self._brick_at is not None and self._step >= self._brick_at:
+            raise DeviceWornOut("scripted death")
+        self._device.tick()
+        return 2.0, 500
+
+
+class TestStepEquivalence:
+    """Pin the shared ``_step_once`` loop behind both public methods.
+
+    ``run`` and ``run_one_increment`` were near-identical copies before
+    being deduplicated; these scripted-device assertions pin the exact
+    accounting, recording, and brick semantics both must keep.
+    """
+
+    def make(self, brick_at=None, steps_per_level=3):
+        device = _ScriptedDevice(steps_per_level=steps_per_level)
+        workload = _ScriptedWorkload(device, brick_at=brick_at)
+        return WearOutExperiment(device, workload), device
+
+    def test_run_accounting_and_termination(self):
+        exp, device = self.make()
+        result = exp.run(until_level=3)
+        # 6 steps: levels advance at steps 3 and 6; stop when level 3 hit.
+        assert result.final_level == 3
+        assert not result.bricked
+        assert result.total_seconds == 6 * 2.0 * device.scale
+        assert result.total_app_bytes == 6 * 500 * device.scale
+        assert result.total_host_bytes == device.host_bytes_written * device.scale
+        assert [rec.label for rec in result.increments] == ["1-2", "2-3"]
+        # Per-increment volumes are deltas, rescaled to full device.
+        assert [rec.host_bytes for rec in result.increments] == [
+            3 * 1000 * device.scale, 3 * 1000 * device.scale,
+        ]
+        assert [rec.seconds for rec in result.increments] == [
+            3 * 2.0 * device.scale, 3 * 2.0 * device.scale,
+        ]
+        assert all(rec.io_pattern == "scripted" for rec in result.increments)
+        assert all(rec.space_utilization == 0.5 for rec in result.increments)
+
+    def test_run_one_increment_matches_run_per_step_accounting(self):
+        exp, device = self.make()
+        rec = exp.run_one_increment("A")
+        assert rec is not None and rec.label == "1-2"
+        # Stops on the exact step the indicator moves: 3 steps.
+        assert exp.result.total_seconds == 3 * 2.0 * device.scale
+        assert exp.result.total_app_bytes == 3 * 500 * device.scale
+        # run() after run_one_increment() continues the same accounting.
+        result = exp.run(until_level=3)
+        assert result is exp.result
+        assert [r.label for r in result.increments] == ["1-2", "2-3"]
+        assert result.total_seconds == 6 * 2.0 * device.scale
+
+    def test_both_paths_set_bricked(self):
+        exp, _ = self.make(brick_at=2)
+        result = exp.run(until_level=99)
+        assert result.bricked and result.total_seconds == 1 * 2.0 * 4
+
+        exp2, _ = self.make(brick_at=2)
+        assert exp2.run_one_increment("A") is None
+        assert exp2.result.bricked
+        assert exp2.result.total_seconds == 1 * 2.0 * 4
+
+    def test_run_one_increment_leaves_host_total_untouched(self):
+        # Pinned historical behavior: only run() refreshes
+        # total_host_bytes; run_one_increment never did.
+        exp, device = self.make()
+        exp.run_one_increment("A")
+        assert exp.result.total_host_bytes == 0.0

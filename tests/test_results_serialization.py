@@ -1,0 +1,125 @@
+"""Round-trip tests for result serialization.
+
+The campaign result store persists every experiment outcome as JSON
+lines; ``to_dict -> json -> from_dict`` must reconstruct the original
+object exactly — float-exact volumes and times included — or resumed
+campaigns and regenerated figures would silently drift from the runs
+that produced them.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.results import IncrementRecord, WearOutResult
+from repro.workloads.microbench import BandwidthPoint
+
+
+def roundtrip(obj):
+    """to_dict -> JSON text -> from_dict, through real serialization."""
+    return type(obj).from_dict(json.loads(json.dumps(obj.to_dict())))
+
+
+def awkward_float(base: float) -> float:
+    """A value with a non-terminating binary fraction tail."""
+    return base + 1 / 3 + 1e-13
+
+
+class TestIncrementRecord:
+    def test_roundtrip_is_exact(self):
+        rec = IncrementRecord(
+            memory_type="B",
+            from_level=3,
+            to_level=4,
+            host_bytes=awkward_float(992.0 * 2**30),
+            app_bytes=awkward_float(496.0 * 2**30),
+            seconds=awkward_float(13.7 * 3600),
+            io_pattern="4 KiB rand",
+            space_utilization=0.9071,
+        )
+        back = roundtrip(rec)
+        assert back == rec
+        # Field-level float identity, not approx: bit-for-bit.
+        assert math.frexp(back.host_bytes) == math.frexp(rec.host_bytes)
+        assert back.label == "3-4"
+
+    def test_defaults_roundtrip(self):
+        rec = IncrementRecord("A", 1, 2, 1.0, 2.0, 3.0)
+        assert roundtrip(rec) == rec
+
+    def test_missing_field_raises(self):
+        data = IncrementRecord("A", 1, 2, 1.0, 2.0, 3.0).to_dict()
+        del data["seconds"]
+        with pytest.raises(KeyError):
+            IncrementRecord.from_dict(data)
+
+
+class TestWearOutResult:
+    def make_hybrid_result(self) -> WearOutResult:
+        """A hybrid device outcome: interleaved Type A and Type B rows."""
+        increments = [
+            IncrementRecord("B", 1, 2, awkward_float(2.2 * 2**40), 1.1 * 2**40, 3600.5, "4 KiB rand", 0.0),
+            IncrementRecord("A", 1, 2, awkward_float(11.9 * 2**40), 5.0 * 2**40, 7200.25, "4 KiB rand", 0.0),
+            IncrementRecord("B", 2, 3, 2.3 * 2**40, 1.2 * 2**40, 3700.125, "128 KiB seq", 0.86),
+        ]
+        return WearOutResult(
+            device_name="eMMC 16GB",
+            filesystem="ext4",
+            increments=increments,
+            bricked=False,
+            total_seconds=awkward_float(14500.0),
+            total_app_bytes=awkward_float(7.3 * 2**40),
+            total_host_bytes=awkward_float(16.4 * 2**40),
+        )
+
+    def test_hybrid_roundtrip(self):
+        result = self.make_hybrid_result()
+        back = roundtrip(result)
+        assert back.device_name == result.device_name
+        assert back.filesystem == result.filesystem
+        assert back.increments == result.increments
+        assert back.total_seconds == result.total_seconds
+        assert back.total_app_bytes == result.total_app_bytes
+        assert back.total_host_bytes == result.total_host_bytes
+        # Per-memory-type views survive (Table 1 rendering path).
+        assert len(back.increments_for("A")) == 1
+        assert len(back.increments_for("B")) == 2
+        assert back.final_level == result.final_level
+
+    def test_bricked_roundtrip(self):
+        result = WearOutResult(
+            device_name="BLU 512MB",
+            filesystem=None,
+            increments=[],
+            bricked=True,
+            total_seconds=99.5,
+            total_app_bytes=123456789.0,
+            total_host_bytes=234567891.0,
+        )
+        back = roundtrip(result)
+        assert back.bricked is True
+        assert back.filesystem is None
+        assert back.increments == []
+        assert back.summary() == result.summary()
+
+    def test_roundtrip_preserves_summary_text(self):
+        result = self.make_hybrid_result()
+        assert roundtrip(result).summary() == result.summary()
+
+
+class TestBandwidthPoint:
+    def test_roundtrip_is_exact(self):
+        point = BandwidthPoint("uSD 16GB", "rand", 4096, awkward_float(0.4))
+        back = roundtrip(point)
+        assert back == point
+        assert math.frexp(back.mib_per_s) == math.frexp(point.mib_per_s)
+
+    def test_dict_shape_is_flat_json(self):
+        data = BandwidthPoint("eMMC 8GB", "seq", 512, 21.5).to_dict()
+        assert data == {
+            "device_name": "eMMC 8GB",
+            "pattern": "seq",
+            "request_bytes": 512,
+            "mib_per_s": 21.5,
+        }

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.rng import DEFAULT_SEED, make_rng, optional_seed, substream
+from repro.rng import DEFAULT_SEED, make_rng, optional_seed, substream, substream_seed
 
 
 class TestMakeRng:
@@ -31,6 +31,28 @@ class TestSubstream:
         a = substream(7, "gc").integers(0, 10**6, size=8)
         b = substream(7, "gc").integers(0, 10**6, size=8)
         assert (a == b).all()
+
+    def test_stable_across_processes(self):
+        # Pinned values: label material must not involve hash(), which
+        # PYTHONHASHSEED randomizes per interpreter.  A campaign worker
+        # has to derive the same stream the serial run would (DESIGN.md
+        # §8); if these drift, cross-process determinism is broken.
+        draws = substream(7, "gc").integers(0, 10**6, size=4)
+        assert list(draws) == [143660, 109997, 649146, 348532]
+
+
+class TestSubstreamSeed:
+    def test_deterministic_int(self):
+        assert substream_seed(7, "point:abc") == substream_seed(7, "point:abc")
+        assert isinstance(substream_seed(7, "point:abc"), int)
+
+    def test_varies_by_label_and_seed(self):
+        assert substream_seed(7, "point:a") != substream_seed(7, "point:b")
+        assert substream_seed(7, "point:a") != substream_seed(8, "point:a")
+
+    def test_pinned_cross_process_values(self):
+        assert substream_seed(7, "point:abc") == 5085254289864174597
+        assert substream_seed(None, "point:abc") == 4928510344890565537
 
 
 class TestOptionalSeed:

@@ -48,6 +48,21 @@ class TestMeasureBandwidth:
         with pytest.raises(ConfigurationError):
             measure_bandwidth(dev, 4 * KIB, pattern="zigzag")
 
+    def test_zero_duration_raises_configuration_error(self):
+        """A device can legitimately report 0.0 s for a tiny volume on a
+        fast scaled instance; that must surface as a clear config error,
+        not a ZeroDivisionError (or a silent infinite bandwidth)."""
+
+        class InstantDevice:
+            name = "instant"
+            logical_capacity = 64 * MIB
+
+            def write_many(self, offsets, request_bytes):
+                return 0.0
+
+        with pytest.raises(ConfigurationError, match="duration"):
+            measure_bandwidth(InstantDevice(), 4 * KIB, pattern="seq")
+
 
 class TestSweep:
     def test_sweep_covers_requested_sizes(self):
