@@ -18,7 +18,6 @@ from repro.analysis import format_table
 from repro.core import WearOutExperiment
 from repro.devices import DEVICE_SPECS
 from repro.flash import CellType
-from repro.flash.cell import CELL_SPECS
 from repro.flash.healing import HealingModel
 from repro.flash.package import FlashPackage
 from repro.fs import Ext4Model

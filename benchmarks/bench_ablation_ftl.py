@@ -95,7 +95,9 @@ def test_ftl_ablations(benchmark, results_dir):
     )
 
     # Wear leveling flattens the wear distribution.
-    spread = lambda ftl: float(ftl.package.pe_counts.std())
+    def spread(ftl):
+        return float(ftl.package.pe_counts.std())
+
     assert spread(levelled) < spread(unlevelled)
 
     # More over-provisioning -> lower WA at high utilization.

@@ -13,7 +13,6 @@ cycle and the device's full-rate end-of-life time.
 
 import dataclasses
 
-import pytest
 
 from repro.analysis import format_table
 from repro.android import Phone, WearAttackApp

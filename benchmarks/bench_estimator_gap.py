@@ -6,7 +6,6 @@ complete rewrites".  The benchmark runs the wear-out to end of life and
 compares against the §2.3 estimator.
 """
 
-import pytest
 
 from repro.analysis import compare, format_table
 from repro.core import WearOutExperiment, estimate_lifetime

@@ -7,7 +7,6 @@ is "mostly constant throughout the lifetime"; the 16GB part needs
 ~2.2 TiB per (Type B) increment.
 """
 
-import pytest
 
 from repro.analysis import compare, increments_table
 from repro.core import WearOutExperiment

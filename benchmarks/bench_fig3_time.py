@@ -10,7 +10,6 @@ eMMC 16GB, and eMMC 8GB.  The shapes that must hold:
   despite needing half the app volume (F2FS throughput is lower).
 """
 
-import pytest
 
 from repro.analysis import ascii_series
 from repro.core import WearOutExperiment
@@ -54,5 +53,5 @@ def test_fig3_time_per_increment(benchmark, results_dir):
     assert hours["Moto E 8GB F2FS"] > hours["Moto E 8GB"]
 
     labels = list(hours)
-    chart = ascii_series(labels, [hours[l] for l in labels], unit=" h")
+    chart = ascii_series(labels, [hours[label] for label in labels], unit=" h")
     save_artifact(results_dir, "fig3_time_to_increment", chart)

@@ -9,7 +9,7 @@ device under 4KiB synchronous writes."
 
 import pytest
 
-from repro.analysis import compare, format_table, increments_table
+from repro.analysis import compare, format_table
 from repro.core import WearOutExperiment
 from repro.devices import build_device
 from repro.fs import Ext4Model, F2fsModel

@@ -8,7 +8,6 @@ Paper claims (in text):
 * budget BLU phones: no reliable indicator, bricked within two weeks.
 """
 
-import pytest
 
 from repro.analysis import compare, format_table
 from repro.android import ChargingSchedule, Phone, ScreenSchedule, WearAttackApp

@@ -11,7 +11,6 @@ benchmark measures all four on the attack and the benign roster:
   leaving every benign profile untouched.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.devices import build_device
@@ -23,7 +22,7 @@ from repro.mitigations import (
     LifetimeBudgetPolicy,
 )
 from repro.units import GIB, KIB, MIB
-from repro.workloads.traces import BENIGN_TRACES, attack_trace, spotify_bug_trace
+from repro.workloads.traces import BENIGN_TRACES, spotify_bug_trace
 
 
 from benchmarks.conftest import save_artifact

@@ -12,7 +12,6 @@ and space utilization (0% / 90%+) vary.  The shapes that must hold:
   hundreds of GiB while throughput drops.
 """
 
-import pytest
 
 from repro.analysis import compare, table1_rows
 from repro.core import WearOutExperiment

@@ -25,7 +25,6 @@ import argparse
 import hashlib
 import json
 import pathlib
-import time
 from dataclasses import dataclass
 from typing import Callable, Sequence, Tuple
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.units import GIB, TIB
 
 
 @dataclass(frozen=True)

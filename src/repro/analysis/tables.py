@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
-from repro.core.results import IncrementRecord, WearOutResult
+from repro.core.results import WearOutResult
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, PermissionDenied
+from repro.errors import PermissionDenied
 from repro.fs.interface import File
 
 

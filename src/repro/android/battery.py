@@ -8,8 +8,8 @@ overnight charge plus a short top-up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.errors import ConfigurationError
 from repro.units import DAY, HOUR

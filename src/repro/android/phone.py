@@ -20,7 +20,6 @@ from repro.android.thermal import ThermalModel
 from repro.core.clock import SimClock
 from repro.devices.interface import BlockDevice
 from repro.errors import (
-    AppKilledError,
     DeviceBricked,
     DeviceWornOut,
     OutOfSpaceError,

@@ -15,7 +15,7 @@ from repro.campaign.spec import CampaignSpec, PointSpec, expand_grid
 from repro.campaign.store import ResultStore
 from repro.core.results import WearOutResult
 from repro.errors import ConfigurationError
-from repro.units import KIB
+
 from repro.workloads.microbench import FIGURE1_BLOCK_SIZES, BandwidthPoint
 
 #: Figure 1's five device curves, in the paper's legend order.
@@ -178,7 +178,7 @@ def _render_fig1(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
     records = ordered_records(store, campaign)
     points = [BandwidthPoint.from_dict(r["result"]) for r in records]
     pattern = campaign.points[0].pattern
-    name = f"fig1a_bandwidth_seq" if pattern == "seq" else "fig1b_bandwidth_rand"
+    name = "fig1a_bandwidth_seq" if pattern == "seq" else "fig1b_bandwidth_rand"
     return {name: bandwidth_table(points)}
 
 

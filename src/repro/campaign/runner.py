@@ -22,10 +22,10 @@ from repro.android import Phone, WearAttackApp
 from repro.campaign.spec import CampaignSpec, PointSpec, resolve_seed
 from repro.campaign.store import ResultStore
 from repro.core.experiment import WearOutExperiment
-from repro.core.tracing import SpanRecorder, worker_utilization
 from repro.devices import DEVICE_SPECS, build_device
 from repro.errors import ConfigurationError
 from repro.fs import make_filesystem
+from repro.obs import MetricsRegistry, SpanRecorder, is_enabled, metrics_enabled, worker_utilization
 from repro.units import KIB
 from repro.workloads import FileRewriteWorkload, fill_static_space, measure_bandwidth
 
@@ -135,22 +135,35 @@ def run_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     dicts = picklable for any multiprocessing start method).  Everything
     under ``telemetry`` is wall-clock reporting; everything else is a
     pure function of the payload.
+
+    When the submitting process had metrics enabled, ``payload`` carries
+    ``metrics: True`` (worker processes do not inherit the registry
+    state) and the point runs under a *fresh* per-point registry whose
+    snapshot lands in ``telemetry`` — visible to ``repro report`` but
+    stripped from the canonical view, so store fingerprints stay
+    identical whether metrics are on or off (DESIGN.md §9).
     """
     spec = PointSpec.from_dict(payload["spec"])
     seed = payload["seed"]
     recorder = SpanRecorder()
-    with recorder.span(f"point:{payload['key']}"):
-        result = _EXECUTORS[spec.kind](spec, seed)
+    telemetry: Dict[str, Any] = {}
+    if payload.get("metrics"):
+        with metrics_enabled(MetricsRegistry()) as registry:
+            with recorder.span(f"point:{payload['key']}"):
+                result = _EXECUTORS[spec.kind](spec, seed)
+            telemetry["metrics"] = registry.snapshot()
+    else:
+        with recorder.span(f"point:{payload['key']}"):
+            result = _EXECUTORS[spec.kind](spec, seed)
+    telemetry["elapsed_s"] = recorder.spans[-1].elapsed_s
+    telemetry["worker_pid"] = os.getpid()
     return {
         "key": payload["key"],
         "campaign": payload["campaign"],
         "spec": spec.to_dict(),
         "seed": seed,
         "result": result,
-        "telemetry": {
-            "elapsed_s": recorder.spans[-1].elapsed_s,
-            "worker_pid": os.getpid(),
-        },
+        "telemetry": telemetry,
     }
 
 
@@ -204,8 +217,14 @@ class CampaignRunner:
         self.mp_context = mp_context
 
     def pending_points(self) -> List[Dict[str, Any]]:
-        """Worker payloads for every point not already in the store."""
+        """Worker payloads for every point not already in the store.
+
+        The submitting process's metrics-enabled state rides along as a
+        plain flag — worker processes rebuild their own registries from
+        it (:func:`run_point`).
+        """
         payloads = []
+        metrics = is_enabled()
         for key, point in self.spec.keyed_points():
             if key in self.store:
                 continue
@@ -215,6 +234,7 @@ class CampaignRunner:
                     "campaign": self.spec.name,
                     "spec": point.to_dict(),
                     "seed": resolve_seed(point, self.spec.base_seed),
+                    "metrics": metrics,
                 }
             )
         return payloads

@@ -12,6 +12,11 @@ spec skips everything already on disk (checkpoint/resume).  The
 field stripped — is scheduling-independent: a 4-worker run and a serial
 run of the same spec produce byte-identical canonical dumps, which the
 determinism tests and the perf canary both enforce (DESIGN.md §8).
+
+When metrics are enabled (DESIGN.md §9) each record's ``telemetry``
+additionally carries a ``metrics`` snapshot of the point's per-process
+registry; living under ``telemetry`` keeps it out of the canonical view,
+so enabling metrics never changes a store's fingerprint.
 """
 
 from __future__ import annotations
@@ -63,7 +68,7 @@ class ResultStore:
             kept.append(line)
         if dropped:
             # Compact away the torn lines so the file is clean JSONL again.
-            self.path.write_text("".join(l + "\n" for l in kept))
+            self.path.write_text("".join(line + "\n" for line in kept))
 
     def append(self, record: Dict[str, Any]) -> None:
         """Add one completed point and flush it to disk immediately."""
@@ -99,6 +104,14 @@ class ResultStore:
 
     def completed_keys(self) -> Set[str]:
         return set(self._records)
+
+    def metrics_for(self, key: str) -> Optional[Dict[str, Any]]:
+        """A point's metrics snapshot, or None if the point is missing
+        or was run with metrics disabled."""
+        record = self._records.get(key)
+        if record is None:
+            return None
+        return record.get("telemetry", {}).get("metrics")
 
     # -- canonical (scheduling-independent) view -----------------------
 

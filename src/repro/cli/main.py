@@ -14,7 +14,8 @@ from repro.core import WearOutExperiment, estimate_lifetime
 from repro.devices import DEVICE_SPECS, build_device
 from repro.errors import ConfigurationError
 from repro.fs import make_filesystem
-from repro.units import GIB, HOUR, KIB, MIB, parse_size
+from repro.obs import metrics_enabled, render_report
+from repro.units import GIB, HOUR, parse_size
 from repro.workloads import FileRewriteWorkload, sweep_block_sizes
 
 DEFAULT_STORE_DIR = "results/campaign_store"
@@ -80,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"directory of per-campaign JSONL stores (default: {DEFAULT_STORE_DIR})",
     )
     camp.add_argument("--quiet", action="store_true", help="suppress per-point lines")
+    camp.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-point metrics snapshots into the store's telemetry "
+        "(inspect with 'repro report'; never changes the store fingerprint)",
+    )
 
     figs = sub.add_parser(
         "figures",
@@ -99,6 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--workers", type=int, default=1, help="worker processes for --run")
     figs.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
     figs.add_argument("--out", default="results", help="artifact output directory")
+
+    rep = sub.add_parser(
+        "report",
+        help="wear / write-amplification / GC summary from a store or run",
+        description="Renders a summary table from a campaign result store "
+        "(one row per point, metrics columns when the campaign ran with "
+        "--metrics) or from an obs emitter JSONL file (DESIGN.md §9).",
+    )
+    rep.add_argument(
+        "source",
+        help="path to a JSONL store/emitter file, or a campaign name "
+        "resolved against --store-dir",
+    )
+    rep.add_argument(
+        "--store-dir", default=DEFAULT_STORE_DIR,
+        help=f"directory searched when 'source' is a campaign name "
+        f"(default: {DEFAULT_STORE_DIR})",
+    )
 
     return parser
 
@@ -199,9 +223,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     spec = get_campaign(args.name)
     store = _store_for(args.store_dir, args.name)
     progress = None if args.quiet else print
-    report = CampaignRunner(spec, store).run(
-        workers=args.workers, fresh=args.fresh, progress=progress
-    )
+    runner = CampaignRunner(spec, store)
+    if args.metrics:
+        with metrics_enabled():
+            report = runner.run(workers=args.workers, fresh=args.fresh, progress=progress)
+    else:
+        report = runner.run(workers=args.workers, fresh=args.fresh, progress=progress)
     print(report.describe())
     print(f"store: {store.path} ({len(store)} points, fingerprint {store.fingerprint()[:16]})")
     return 0
@@ -231,6 +258,20 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    source = pathlib.Path(args.source)
+    if not source.exists():
+        candidate = pathlib.Path(args.store_dir) / f"{args.source}.jsonl"
+        if candidate.exists():
+            source = candidate
+    try:
+        print(render_report(source))
+    except ConfigurationError as exc:
+        print(f"report failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "devices": cmd_devices,
     "estimate": cmd_estimate,
@@ -239,6 +280,7 @@ _COMMANDS = {
     "phone": cmd_phone,
     "campaign": cmd_campaign,
     "figures": cmd_figures,
+    "report": cmd_report,
 }
 
 

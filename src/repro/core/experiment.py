@@ -12,6 +12,7 @@ attributes (see :mod:`repro.workloads.wearout`).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from repro.core.clock import SimClock
@@ -19,6 +20,8 @@ from repro.core.results import IncrementRecord, WearOutResult
 from repro.devices.interface import BlockDevice
 from repro.errors import DeviceWornOut, OutOfSpaceError, ReadOnlyError, UncorrectableError
 from repro.ftl.wear_indicator import WearIndicator
+from repro.obs import ExperimentInstruments, JsonlEmitter
+from repro.units import GIB
 
 
 class WearOutExperiment:
@@ -32,19 +35,33 @@ class WearOutExperiment:
         filesystem: Optional filesystem between workload and device
             (used for app-level volume accounting).
         clock: Virtual clock; a fresh one is created if omitted.
+        emitter: Optional :class:`~repro.obs.JsonlEmitter`; every wear
+            increment is emitted as one structured ``increment`` event.
     """
 
-    def __init__(self, device: BlockDevice, workload, filesystem=None, clock: Optional[SimClock] = None):
+    def __init__(
+        self,
+        device: BlockDevice,
+        workload,
+        filesystem=None,
+        clock: Optional[SimClock] = None,
+        emitter: Optional[JsonlEmitter] = None,
+    ):
         self.device = device
         self.workload = workload
         self.filesystem = filesystem
         self.clock = clock or SimClock()
+        self.emitter = emitter
         self.result = WearOutResult(
             device_name=device.name,
             filesystem=getattr(filesystem, "name", None),
         )
         self._last_levels: Dict[str, int] = {}
         self._phase_start: Dict[str, _PhaseMarker] = {}
+        # Wall-clock phase starts, tracked only for telemetry: the
+        # per-increment wall-time histogram (DESIGN.md §9).
+        self._phase_wall: Dict[str, float] = {}
+        self._obs = ExperimentInstruments.create()
 
     # ------------------------------------------------------------------
 
@@ -63,6 +80,9 @@ class WearOutExperiment:
             if indicators is None or self._any_at_level(until_level, indicators):
                 break
         self.result.total_host_bytes = self.device.host_bytes_written * self.device.scale
+        if self._obs is not None:
+            # Cumulative device-level volume; counted once per run().
+            self._obs.host_bytes.inc(self.result.total_host_bytes)
         return self.result
 
     def run_one_increment(self, memory_type: str = "A", max_steps: int = 1_000_000) -> Optional[IncrementRecord]:
@@ -102,6 +122,10 @@ class WearOutExperiment:
         # reported at full-device equivalents (DESIGN.md §6).
         self.result.total_seconds += duration * self.device.scale
         self.result.total_app_bytes += app_bytes * self.device.scale
+        obs = self._obs
+        if obs is not None:
+            obs.steps.inc()
+            obs.app_bytes.inc(app_bytes * self.device.scale)
         indicators = self.device.wear_indicators()
         self._record_increments(indicators)
         return indicators
@@ -111,6 +135,8 @@ class WearOutExperiment:
             if mem_type not in self._last_levels:
                 self._last_levels[mem_type] = indicator.level
                 self._phase_start[mem_type] = self._marker()
+                if self._obs is not None:
+                    self._phase_wall[mem_type] = time.perf_counter()
 
     def _marker(self) -> "_PhaseMarker":
         app_bytes = (
@@ -134,20 +160,33 @@ class WearOutExperiment:
             start = self._phase_start[mem_type]
             now = self._marker()
             scale = self.device.scale
-            self.result.increments.append(
-                IncrementRecord(
-                    memory_type=mem_type,
-                    from_level=old,
-                    to_level=indicator.level,
-                    host_bytes=(now.host_bytes - start.host_bytes) * scale,
-                    app_bytes=(now.app_bytes - start.app_bytes) * scale,
-                    seconds=(now.seconds - start.seconds) * scale,
-                    io_pattern=getattr(self.workload, "description", ""),
-                    space_utilization=getattr(self.workload, "space_utilization", 0.0),
-                )
+            record = IncrementRecord(
+                memory_type=mem_type,
+                from_level=old,
+                to_level=indicator.level,
+                host_bytes=(now.host_bytes - start.host_bytes) * scale,
+                app_bytes=(now.app_bytes - start.app_bytes) * scale,
+                seconds=(now.seconds - start.seconds) * scale,
+                io_pattern=getattr(self.workload, "description", ""),
+                space_utilization=getattr(self.workload, "space_utilization", 0.0),
             )
+            self.result.increments.append(record)
             self._last_levels[mem_type] = indicator.level
             self._phase_start[mem_type] = now
+            obs = self._obs
+            if obs is not None:
+                wall_now = time.perf_counter()
+                obs.increments.inc()
+                obs.increment_host_gib.observe(record.host_bytes / GIB)
+                obs.increment_wall_s.observe(
+                    wall_now - self._phase_wall.get(mem_type, wall_now)
+                )
+                self._phase_wall[mem_type] = wall_now
+            if self.emitter is not None:
+                self.emitter.emit(
+                    "increment",
+                    {"device": self.device.name, **record.to_dict()},
+                )
 
     def _any_at_level(self, level: int, indicators: Dict[str, "WearIndicator"]) -> bool:
         return any(ind.level >= level for ind in indicators.values())

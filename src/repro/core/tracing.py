@@ -14,16 +14,28 @@ diffed; volumes are stored at the device scale they were recorded at.
 from __future__ import annotations
 
 import json
-import time
-from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.devices.interface import BlockDevice
 from repro.errors import ConfigurationError
+
+# Wall-clock span telemetry moved to the observability layer; the names
+# stay importable from here for backwards compatibility.
+from repro.obs.spans import Span, SpanRecorder, worker_utilization
+
+__all__ = [
+    "IoEvent",
+    "IoTrace",
+    "TracingDevice",
+    "replay",
+    "Span",
+    "SpanRecorder",
+    "worker_utilization",
+]
 
 
 @dataclass(frozen=True)
@@ -147,60 +159,6 @@ class TracingDevice:
             )
         )
         return duration
-
-
-@dataclass(frozen=True)
-class Span:
-    """One timed section: wall-clock telemetry, never simulation state."""
-
-    name: str
-    started_at: float
-    elapsed_s: float
-
-
-class SpanRecorder:
-    """Minimal wall-clock span collector for runner telemetry.
-
-    The campaign runner times every experiment point and the campaign
-    itself with this; spans are *telemetry* — they ride along in the
-    result store but are excluded from its canonical (deterministic)
-    view, because wall time is the one thing two identical runs won't
-    share.
-    """
-
-    def __init__(self):
-        self.spans: List[Span] = []
-
-    @contextmanager
-    def span(self, name: str):
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.spans.append(
-                Span(name=name, started_at=start, elapsed_s=time.perf_counter() - start)
-            )
-
-    def elapsed(self, name: str) -> float:
-        """Total elapsed seconds across spans with this name."""
-        return sum(s.elapsed_s for s in self.spans if s.name == name)
-
-    def total_busy(self, prefix: str = "") -> float:
-        """Total elapsed seconds across spans whose name starts with
-        ``prefix`` (e.g. every ``point:*`` span)."""
-        return sum(s.elapsed_s for s in self.spans if s.name.startswith(prefix))
-
-
-def worker_utilization(busy_seconds: float, workers: int, wall_seconds: float) -> float:
-    """Fraction of the worker pool's wall-clock capacity spent computing.
-
-    1.0 means every worker was busy the whole campaign; low values point
-    at stragglers or per-point overhead dominating.  Clamped to [0, 1]
-    so timer jitter on sub-millisecond campaigns can't report >100%.
-    """
-    if workers <= 0 or wall_seconds <= 0.0:
-        return 0.0
-    return min(1.0, busy_seconds / (workers * wall_seconds))
 
 
 def replay(trace: IoTrace, device: BlockDevice, clip_to_capacity: bool = True) -> float:

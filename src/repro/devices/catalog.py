@@ -17,7 +17,7 @@ preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Type
 
 from repro.devices.emmc import EmmcDevice

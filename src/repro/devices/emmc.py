@@ -12,7 +12,6 @@ modest parallelism plateau in the performance model.  Hybrid parts
 from __future__ import annotations
 
 from repro.devices.interface import BlockDevice
-from repro.devices.perf import PerformanceModel
 from repro.ftl.hybrid import HybridFTL
 
 

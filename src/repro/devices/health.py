@@ -8,7 +8,7 @@ provide reliable wear-out indications".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.ftl.wear_indicator import PreEolState, WearIndicator

@@ -8,7 +8,7 @@ seconds; the experiment engine advances its virtual clock by that much.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
@@ -17,7 +17,6 @@ from repro.devices.perf import PerformanceModel
 from repro.errors import DeviceWornOut, ReadOnlyError
 from repro.ftl.ftl import PageMappedFTL
 from repro.ftl.hybrid import HybridFTL
-from repro.ftl.wear_indicator import PreEolState
 
 AnyFtl = Union[PageMappedFTL, HybridFTL]
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
 
@@ -93,13 +94,21 @@ class EccConfig:
         """Largest RBER at which a codeword still meets ``uber_limit``.
 
         Solved by bisection on :meth:`codeword_failure_probability`,
-        which is monotone in RBER.
+        which is monotone in RBER.  The config is frozen, so the result
+        is memoized per config — the FTL consults this threshold on
+        every read-error sample, and the 80-step bisection would
+        otherwise dominate read-heavy workloads.
         """
-        lo, hi = 0.0, 0.5
-        for _ in range(80):
-            mid = (lo + hi) / 2
-            if self.codeword_failure_probability(mid) > self.uber_limit:
-                hi = mid
-            else:
-                lo = mid
-        return lo
+        return _max_tolerable_rber(self)
+
+
+@lru_cache(maxsize=None)
+def _max_tolerable_rber(config: EccConfig) -> float:
+    lo, hi = 0.0, 0.5
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        if config.codeword_failure_probability(mid) > config.uber_limit:
+            hi = mid
+        else:
+            lo = mid
+    return lo

@@ -12,7 +12,7 @@ cycle opened by the preceding erase).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -23,6 +23,7 @@ from repro.flash.cell import CELL_SPECS, CellSpec, CellType
 from repro.flash.ecc import EccConfig
 from repro.flash.geometry import FlashGeometry
 from repro.flash.healing import HealingModel
+from repro.obs import FlashInstruments
 from repro.rng import SeedLike, substream
 
 
@@ -111,6 +112,10 @@ class FlashPackage:
         self._pe_max = 0.0
         self._pe_max_valid = True
 
+        # Observability: None while metrics are disabled (DESIGN.md §9);
+        # the erase fast path pays one attribute load + is-None test.
+        self._obs = FlashInstruments.create()
+
     # ------------------------------------------------------------------
     # Wear state
     # ------------------------------------------------------------------
@@ -194,6 +199,8 @@ class FlashPackage:
         self._pe_permanent[block_ids] += 1.0 - frac
         self._pe_recoverable[block_ids] += frac
         self.counters.block_erases += int(block_ids.size)
+        if self._obs is not None:
+            self._obs.block_erases.inc(int(block_ids.size))
 
         effective = self._pe_permanent[block_ids] + self._pe_recoverable[block_ids]
         if self._pe_cache_valid:
@@ -206,6 +213,8 @@ class FlashPackage:
         if newly_bad.any():
             self._bad[block_ids[newly_bad]] = True
             self._num_bad = int(self._bad.sum())
+            if self._obs is not None:
+                self._obs.bad_blocks.inc(int(newly_bad.sum()))
         return newly_bad
 
     def erase_block(self, block_id: int) -> bool:
@@ -227,6 +236,8 @@ class FlashPackage:
         permanent[block_id] = perm = permanent[block_id] + (1.0 - frac)
         recoverable[block_id] = reco = recoverable[block_id] + frac
         self.counters.block_erases += 1
+        if self._obs is not None:
+            self._obs.block_erases.inc()
 
         effective = perm + reco
         if self._pe_cache_valid:
@@ -236,6 +247,8 @@ class FlashPackage:
         if effective >= self._cycle_limit[block_id]:
             self._bad[block_id] = True
             self._num_bad += 1
+            if self._obs is not None:
+                self._obs.bad_blocks.inc()
             return True
         return False
 
@@ -255,11 +268,15 @@ class FlashPackage:
         if count < 0:
             raise ConfigurationError("program count must be non-negative")
         self.counters.page_programs += count
+        if self._obs is not None:
+            self._obs.page_programs.inc(count)
 
     def record_page_reads(self, count: int) -> None:
         if count < 0:
             raise ConfigurationError("read count must be non-negative")
         self.counters.page_reads += count
+        if self._obs is not None:
+            self._obs.page_reads.inc(count)
 
     def idle(self, elapsed_seconds: float, temp_c: float = 25.0) -> None:
         """Let trapped charge dissipate over an idle period (§2.2)."""
@@ -296,5 +313,7 @@ class FlashPackage:
 
     def uncorrectable_probability(self, block_id: int, retention_days: float = 0.0) -> float:
         """Per-codeword uncorrectable probability for a block's pages."""
+        if self._obs is not None:
+            self._obs.ecc_tail_evals.inc()
         rber = float(self.rber(np.array([block_id]), retention_days)[0])
         return self.ecc.codeword_failure_probability(rber)

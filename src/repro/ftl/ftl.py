@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DeviceWornOut, OutOfSpaceError, ReadOnlyError, UncorrectableError
 from repro.flash.package import FlashPackage
+from repro.obs import FtlInstruments
 from repro.ftl.gc import GreedyVictimPolicy, VictimQueue
 from repro.ftl.stats import FtlStats
 from repro.ftl.wear_indicator import PreEolState, WearIndicator, wear_level
@@ -161,6 +162,11 @@ class PageMappedFTL:
         self._read_error_checks = read_error_checks
         self._read_rng = substream(seed, "ftl-read-errors")
 
+        # Observability: None while metrics are disabled, so the hot
+        # paths below pay one attribute load + is-None test (DESIGN.md
+        # §9).  Instruments only observe; they never steer simulation.
+        self._obs = FtlInstruments.create()
+
     @property
     def victim_policy(self):
         return self._victim_policy
@@ -215,15 +221,22 @@ class PageMappedFTL:
         host_pages = int((last_page - first_page + 1).sum())
         rmw_pages = programs - host_pages
 
+        obs = self._obs
         if not as_migration:
             # Migration programs are counted wholesale by _write_units.
             self.stats.host_pages_requested += host_pages
             self.stats.host_pages_programmed += host_pages
             self.stats.rmw_pages_programmed += rmw_pages
+            if obs is not None:
+                obs.host_pages.inc(host_pages)
+                if rmw_pages:
+                    obs.rmw_pages.inc(rmw_pages)
         if rmw_pages > 0:
             # RMW reads the untouched pages of each unit before reprogram.
             self.stats.pages_read += rmw_pages
             self.package.record_page_reads(rmw_pages)
+            if obs is not None:
+                obs.pages_read.inc(rmw_pages)
         self._write_units(unit_lpns, _Source.MIGRATION if as_migration else _Source.HOST)
 
     def write_pages_scattered(self, page_lpns: np.ndarray) -> None:
@@ -249,6 +262,8 @@ class PageMappedFTL:
         pages = int(((offsets + request_bytes - 1) // page - offsets // page + 1).sum())
         self.stats.pages_read += pages
         self.package.record_page_reads(pages)
+        if self._obs is not None:
+            self._obs.pages_read.inc(pages)
         if self._read_error_checks:
             unit_lpns = np.unique(offsets // self.unit_bytes)
             unit_lpns = unit_lpns[unit_lpns < self.num_logical_units]
@@ -272,6 +287,8 @@ class PageMappedFTL:
         mapped = ppus >= 0
         self.stats.pages_read += int(page_lpns.size)
         self.package.record_page_reads(int(page_lpns.size))
+        if self._obs is not None:
+            self._obs.pages_read.inc(int(page_lpns.size))
         if self._read_error_checks and mapped.any():
             self._sample_read_errors(ppus[mapped])
         return mapped
@@ -345,6 +362,15 @@ class PageMappedFTL:
         elif source is _Source.MIGRATION:
             self.stats.migration_pages += pages
         self.package.record_page_programs(pages)
+        obs = self._obs
+        if obs is not None:
+            obs.flash_pages.inc(pages)
+            if source is _Source.GC:
+                obs.gc_pages.inc(pages)
+            elif source is _Source.WL:
+                obs.wl_pages.inc(pages)
+            elif source is _Source.MIGRATION:
+                obs.migration_pages.inc(pages)
 
         allow_reclaim = source is _Source.HOST or source is _Source.MIGRATION
         upb = self.units_per_block
@@ -574,8 +600,10 @@ class PageMappedFTL:
             p2l = self._p2l
             closed = self._closed
             cof = queue._count_of
+            obs = self._obs
             erased = 0
             runs = 0
+            zero_victims = 0
             while len(free_blocks) < high_water:
                 if burst is not None:
                     victim = burst(queue, pe_counts, package._pe_max, cache)
@@ -593,13 +621,21 @@ class PageMappedFTL:
                     if erased:
                         stats.blocks_erased += erased
                         self._erases_since_wl_check += erased
+                        if obs is not None:
+                            obs.blocks_erased.inc(erased)
                         erased = 0
                     if runs:
                         stats.gc_runs += runs
+                        if obs is not None:
+                            obs.gc_runs.inc(runs)
+                            obs.gc_victim_valid.observe_repeat(0, zero_victims)
+                            zero_victims = 0
                         runs = 0
                     cache.clear()
                     freed = self._collect_block(victim, _Source.GC)
                     stats.gc_runs += 1
+                    if obs is not None:
+                        obs.gc_runs.inc()
                 else:
                     # Inlined _collect_block for the (dominant) case of a
                     # fully-invalid victim: nothing to relocate — drop it
@@ -613,8 +649,11 @@ class PageMappedFTL:
                     went_bad = package.erase_block(victim)
                     erased += 1
                     runs += 1
+                    zero_victims += 1
                     if not went_bad:
                         free_blocks.append(victim)
+                    elif obs is not None:
+                        obs.bad_blocks.inc()
                     freed = not went_bad
                 stall_guard = stall_guard + 1 if not freed else 0
                 if stall_guard > 4:
@@ -624,6 +663,13 @@ class PageMappedFTL:
                 self._erases_since_wl_check += erased
             if runs:
                 stats.gc_runs += runs
+            if obs is not None:
+                if erased:
+                    obs.blocks_erased.inc(erased)
+                if runs:
+                    obs.gc_runs.inc(runs)
+                obs.gc_victim_valid.observe_repeat(0, zero_victims)
+                obs.free_blocks.set(len(free_blocks))
             cfg = self.wl_config
             if cfg.static_enabled and self._erases_since_wl_check >= cfg.static_check_interval:
                 self._maybe_static_wear_level()
@@ -638,6 +684,9 @@ class PageMappedFTL:
         Returns True if the erase netted a new free (or at least usable)
         block, False when the block went bad.
         """
+        obs = self._obs
+        if obs is not None and source is _Source.GC:
+            obs.gc_victim_valid.observe(int(self._valid_count[victim]))
         self._gc_queue.discard(victim)
         start = victim * self.units_per_block
         end = start + self.units_per_block
@@ -654,6 +703,10 @@ class PageMappedFTL:
         went_bad = self.package.erase_block(victim)
         self.stats.blocks_erased += 1
         self._erases_since_wl_check += 1
+        if obs is not None:
+            obs.blocks_erased.inc()
+            if went_bad:
+                obs.bad_blocks.inc()
         if not went_bad:
             self._free_blocks.append(victim)
         return not went_bad
@@ -673,6 +726,8 @@ class PageMappedFTL:
             return
         self._collect_block(victim, _Source.WL)
         self.stats.wl_runs += 1
+        if self._obs is not None:
+            self._obs.wl_runs.inc()
 
     def _check_end_of_life(self) -> None:
         usable = self.geometry.num_blocks - self.package.num_bad_blocks
@@ -692,7 +747,12 @@ class PageMappedFTL:
         rber = self.package.rber(blocks)
         # Skip the ECC tail computation while wear is comfortably low.
         risky = blocks[np.asarray(rber) > self.package.ecc.max_tolerable_rber() * 0.5]
+        obs = self._obs
+        if obs is not None and risky.size:
+            obs.ecc_risky_reads.inc(int(risky.size))
         for block in risky:
             prob = self.package.uncorrectable_probability(int(block))
             if prob > 0 and self._read_rng.random() < prob:
+                if obs is not None:
+                    obs.ecc_uncorrectable.inc()
                 raise UncorrectableError(int(block) * self.units_per_block)

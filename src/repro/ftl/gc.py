@@ -12,6 +12,11 @@ updated incrementally as invalidations land — and policies that
 implement ``select_incremental`` answer from it without touching
 non-candidate blocks.  The array-based ``select`` methods remain as the
 reference implementation (and the fallback for custom policies).
+
+Policies themselves carry no observability hooks: the FTL records each
+selected victim's valid-unit count into the
+``ftl.gc_victim_valid_units`` histogram at collection time (DESIGN.md
+§9), so selection stays a pure function of queue state.
 """
 
 from __future__ import annotations

@@ -21,6 +21,11 @@ through a FIFO ring in the A pool before migrating to B.  Type A then
 absorbs the full write stream and its indicator advances an order of
 magnitude faster (Table 1's 439 GiB/level phases), while Type B's
 per-level volume stays unchanged and host throughput collapses.
+
+Observability: both pools bind the same ``ftl.*`` instruments from the
+active registry (DESIGN.md §9), so metrics aggregate device-wide —
+staging-ring traffic lands under ``ftl.migration_pages`` rather than
+host pages, keeping the metrics-derived write amplification honest.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import ConfigurationError, DeviceWornOut, OutOfSpaceError, ReadOnlyError
 from repro.flash.package import FlashPackage
 from repro.ftl.stats import FtlStats
+from repro.obs import FtlInstruments
 from repro.ftl.wear_indicator import PreEolState, WearIndicator, wear_level
 
 
@@ -84,6 +85,8 @@ class LogBlockFTL:
         self._log_contents: "OrderedDict[int, List[int]]" = OrderedDict()
         self._active_log: Optional[int] = None
         self._free_blocks: List[int] = list(range(geom.num_blocks))
+        # Shares the ftl.* namespace with PageMappedFTL (DESIGN.md §9).
+        self._obs = FtlInstruments.create()
 
     # ------------------------------------------------------------------
     # Public API (mirrors PageMappedFTL's surface used by devices)
@@ -125,6 +128,8 @@ class LogBlockFTL:
         pages = int(((offsets + request_bytes - 1) // page - offsets // page + 1).sum())
         self.stats.pages_read += pages
         self.package.record_page_reads(pages)
+        if self._obs is not None:
+            self._obs.pages_read.inc(pages)
 
     def trim_pages(self, start_page: int, num_pages: int) -> None:
         """Advisory only: block-mapped cards generally ignore discard."""
@@ -160,6 +165,10 @@ class LogBlockFTL:
         self.stats.host_pages_requested += 1
         self.stats.host_pages_programmed += 1
         self.package.record_page_programs(1)
+        obs = self._obs
+        if obs is not None:
+            obs.host_pages.inc()
+            obs.flash_pages.inc()
 
         if self._active_log is None or len(self._log_contents[self._active_log]) >= self.pages_per_block:
             self._open_log_block()
@@ -198,6 +207,9 @@ class LogBlockFTL:
             if old >= 0:
                 self._erase(old)
             self.stats.gc_runs += 1
+            if self._obs is not None:
+                self._obs.gc_runs.inc()
+                self._obs.merges_switch.inc()
             return
 
         # Full merge: rebuild every logical block present in the victim.
@@ -207,6 +219,9 @@ class LogBlockFTL:
         self._drop_log_entries(victim, contents)
         self._erase(victim)
         self.stats.gc_runs += 1
+        if self._obs is not None:
+            self._obs.gc_runs.inc()
+            self._obs.merges_full.inc()
 
     def _is_switch_candidate(self, victim: int, contents: List[int]) -> bool:
         if len(contents) != self.pages_per_block:
@@ -224,6 +239,11 @@ class LogBlockFTL:
         self.stats.pages_read += copies
         self.package.record_page_programs(copies)
         self.package.record_page_reads(copies)
+        obs = self._obs
+        if obs is not None:
+            obs.gc_pages.inc(copies)
+            obs.flash_pages.inc(copies)
+            obs.pages_read.inc(copies)
 
         base = lbn * self.pages_per_block
         for lpn in range(base, base + self.pages_per_block):
@@ -246,6 +266,10 @@ class LogBlockFTL:
     def _erase(self, block: int) -> None:
         went_bad = bool(self.package.erase_blocks(np.array([block]))[0])
         self.stats.blocks_erased += 1
+        if self._obs is not None:
+            self._obs.blocks_erased.inc()
+            if went_bad:
+                self._obs.bad_blocks.inc()
         if not went_bad:
             self._free_blocks.append(block)
         elif self.package.num_bad_blocks > self._initial_spares:

@@ -8,7 +8,7 @@ separately so ablation benchmarks can attribute wear to each source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -5,6 +5,10 @@ block is opened.  Static wear leveling periodically relocates cold data
 out of under-worn blocks so their low-wear cycles become available to
 hot data.  Both can be disabled for the ablation benchmarks, which
 demonstrate how uneven wear accelerates early block death.
+
+These helpers are pure functions of wear state; the FTL counts each
+static-WL migration pass under ``ftl.wl_runs`` and its page copies under
+``ftl.wl_pages_copied`` (DESIGN.md §9).
 """
 
 from __future__ import annotations

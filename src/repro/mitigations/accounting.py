@@ -8,7 +8,7 @@ amount of I/O."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError

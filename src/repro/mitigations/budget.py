@@ -11,14 +11,13 @@ clamped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.devices.interface import BlockDevice
 from repro.errors import ConfigurationError
 from repro.mitigations.classifier import AppIoFeatures, IoPatternClassifier
 from repro.mitigations.ratelimit import LifespanBudget, TokenBucket
-from repro.units import DAY
 
 
 @dataclass

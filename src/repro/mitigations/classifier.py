@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.units import GIB, KIB, MIB
+from repro.units import GIB, KIB
 
 
 @dataclass(frozen=True)

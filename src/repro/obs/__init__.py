@@ -1,0 +1,73 @@
+"""Unified metrics & observability layer.
+
+Everything the simulator can explain about *why* a number came out the
+way it did flows through here: counters/gauges/histograms
+(:mod:`repro.obs.metrics`), wall-clock spans (:mod:`repro.obs.spans`),
+structured JSONL emission (:mod:`repro.obs.emit`), and the summary
+rendering behind ``repro report`` (:mod:`repro.obs.report`).
+
+Metrics are **disabled by default** and zero-cost when disabled: hot
+paths hold a pre-resolved instruments object (or ``None``) so the only
+per-call price is one attribute load.  Enabling metrics never changes
+simulation results — instruments observe, they do not steer — and
+snapshots ship as campaign telemetry, outside the canonical store
+fingerprint (DESIGN.md §9).
+"""
+
+from repro.obs.emit import JsonlEmitter, read_events
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    metrics_enabled,
+)
+from repro.obs.report import (
+    emitter_report,
+    metrics_report,
+    render_report,
+    store_report,
+    write_amplification_of,
+)
+from repro.obs.spans import Span, SpanRecorder, worker_utilization
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "enable",
+    "disable",
+    "get_registry",
+    "is_enabled",
+    "metrics_enabled",
+    "JsonlEmitter",
+    "read_events",
+    "Span",
+    "SpanRecorder",
+    "worker_utilization",
+    "emitter_report",
+    "metrics_report",
+    "render_report",
+    "store_report",
+    "write_amplification_of",
+    "FtlInstruments",
+    "FlashInstruments",
+    "ExperimentInstruments",
+]
+
+from repro.obs.instruments import (  # noqa: E402  (depends on metrics above)
+    ExperimentInstruments,
+    FlashInstruments,
+    FtlInstruments,
+)

@@ -1,0 +1,99 @@
+"""Structured JSONL event and snapshot emitter.
+
+Observability output follows the same format discipline as the result
+store: one JSON object per line, append-only, trivially diffable.  Each
+line carries a ``kind`` tag, a monotonically increasing ``seq`` (so
+torn or reordered lines are detectable), and the event payload under
+``data``::
+
+    {"kind": "increment", "seq": 3, "data": {"memory_type": "A", ...}}
+    {"kind": "metrics", "seq": 4, "data": {"ftl.gc_runs": {...}, ...}}
+
+Events are simulation-derived and deterministic; wall-clock readings
+only appear when the caller puts them in the payload explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import AnyRegistry
+
+
+class JsonlEmitter:
+    """Append structured events to a JSONL file or file-like object.
+
+    Args:
+        target: Path (opened lazily, parents created) or an open
+            text stream (e.g. ``io.StringIO`` in tests; not closed by
+            :meth:`close` unless the emitter opened it itself).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        self._path: Optional[Path] = None
+        self._stream: Optional[IO[str]] = None
+        self._owns_stream = False
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+        else:
+            self._stream = target
+        self.seq = 0
+
+    def _ensure_stream(self) -> IO[str]:
+        if self._stream is None:
+            assert self._path is not None
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self._path.open("a")
+            self._owns_stream = True
+        return self._stream
+
+    def emit(self, kind: str, data: Dict[str, Any]) -> None:
+        """Write one event line and flush it."""
+        stream = self._ensure_stream()
+        stream.write(
+            json.dumps({"kind": kind, "seq": self.seq, "data": data}, sort_keys=True) + "\n"
+        )
+        stream.flush()
+        self.seq += 1
+
+    def emit_snapshot(self, registry: AnyRegistry) -> None:
+        """Emit the registry's full instrument snapshot as one event."""
+        self.emit("metrics", registry.snapshot())
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+            self._stream = None
+            self._owns_stream = False
+
+    def __enter__(self) -> "JsonlEmitter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read an emitter file back; skips torn (non-JSON) trailing lines.
+
+    Raises :class:`ConfigurationError` if the file holds no events at
+    all — an empty observability file usually means the run never
+    enabled metrics, which is worth failing loudly over.
+    """
+    path = Path(path)
+    events: List[Dict[str, Any]] = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(event, dict) and "kind" in event:
+            events.append(event)
+    if not events:
+        raise ConfigurationError(f"no observability events in {path}")
+    return events

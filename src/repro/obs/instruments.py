@@ -1,0 +1,141 @@
+"""Pre-resolved instrument bundles for the simulator's hot layers.
+
+The disabled-mode contract (DESIGN.md §9) is enforced structurally:
+each bundle's ``create()`` returns ``None`` while metrics are disabled,
+so hot paths guard with one attribute load plus an ``is None`` test —
+
+    o = self._obs
+    if o is not None:
+        o.gc_runs.inc()
+
+— and pay nothing else.  When enabled, every instrument is resolved
+once here, at construction, so the steady state never goes through the
+registry's dict again.
+
+Instrument names are dotted and layer-first; two FTL pools built under
+the same registry (the hybrid device) share one ``ftl.*`` namespace and
+therefore report combined counts, mirroring ``HybridFTL.stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import AnyRegistry, get_registry
+
+#: Victim valid-unit histogram edges: log-spaced so both fully-invalid
+#: victims (the cheap, dominant case) and worst-case full relocations
+#: stay distinguishable whatever the units-per-block.
+VICTIM_VALID_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+#: Per-increment volume (GiB) and wall-time (s) histogram edges.
+INCREMENT_GIB_BOUNDS = (1, 4, 16, 64, 256, 1024, 4096, 16384)
+INCREMENT_WALL_BOUNDS = (0.01, 0.1, 1.0, 10.0, 60.0, 600.0)
+
+
+class FtlInstruments:
+    """FTL-layer counters: host vs. flash writes (live write
+    amplification), GC and wear-leveling activity, erases, bad-block
+    retirements, and ECC read outcomes."""
+
+    __slots__ = (
+        "host_pages",
+        "rmw_pages",
+        "flash_pages",
+        "gc_pages",
+        "wl_pages",
+        "migration_pages",
+        "pages_read",
+        "gc_runs",
+        "wl_runs",
+        "blocks_erased",
+        "bad_blocks",
+        "free_blocks",
+        "gc_victim_valid",
+        "ecc_risky_reads",
+        "ecc_uncorrectable",
+        "merges_switch",
+        "merges_full",
+    )
+
+    def __init__(self, registry: AnyRegistry):
+        self.host_pages = registry.counter("ftl.host_pages")
+        self.rmw_pages = registry.counter("ftl.rmw_pages")
+        self.flash_pages = registry.counter("ftl.flash_pages")
+        self.gc_pages = registry.counter("ftl.gc_pages_copied")
+        self.wl_pages = registry.counter("ftl.wl_pages_copied")
+        self.migration_pages = registry.counter("ftl.migration_pages")
+        self.pages_read = registry.counter("ftl.pages_read")
+        self.gc_runs = registry.counter("ftl.gc_runs")
+        self.wl_runs = registry.counter("ftl.wl_runs")
+        self.blocks_erased = registry.counter("ftl.blocks_erased")
+        self.bad_blocks = registry.counter("ftl.bad_blocks_retired")
+        self.free_blocks = registry.gauge("ftl.free_blocks")
+        self.gc_victim_valid = registry.histogram(
+            "ftl.gc_victim_valid_units", VICTIM_VALID_BOUNDS
+        )
+        self.ecc_risky_reads = registry.counter("ftl.ecc_risky_reads")
+        self.ecc_uncorrectable = registry.counter("ftl.ecc_uncorrectable")
+        self.merges_switch = registry.counter("ftl.merges_switch")
+        self.merges_full = registry.counter("ftl.merges_full")
+
+    @classmethod
+    def create(cls) -> Optional["FtlInstruments"]:
+        registry = get_registry()
+        return cls(registry) if registry.enabled else None
+
+
+class FlashInstruments:
+    """Package-layer counters: raw media operations, retirements, and
+    ECC tail evaluations."""
+
+    __slots__ = (
+        "page_programs",
+        "page_reads",
+        "block_erases",
+        "bad_blocks",
+        "ecc_tail_evals",
+    )
+
+    def __init__(self, registry: AnyRegistry):
+        self.page_programs = registry.counter("flash.page_programs")
+        self.page_reads = registry.counter("flash.page_reads")
+        self.block_erases = registry.counter("flash.block_erases")
+        self.bad_blocks = registry.counter("flash.bad_blocks")
+        self.ecc_tail_evals = registry.counter("flash.ecc_tail_evals")
+
+    @classmethod
+    def create(cls) -> Optional["FlashInstruments"]:
+        registry = get_registry()
+        return cls(registry) if registry.enabled else None
+
+
+class ExperimentInstruments:
+    """Experiment-loop counters: step volume plus per-increment I/O and
+    wall time (the measurement loop behind §4.3/§4.4)."""
+
+    __slots__ = (
+        "steps",
+        "host_bytes",
+        "app_bytes",
+        "increments",
+        "increment_host_gib",
+        "increment_wall_s",
+    )
+
+    def __init__(self, registry: AnyRegistry):
+        self.steps = registry.counter("experiment.steps")
+        self.host_bytes = registry.counter("experiment.host_bytes")
+        self.app_bytes = registry.counter("experiment.app_bytes")
+        self.increments = registry.counter("experiment.increments")
+        self.increment_host_gib = registry.histogram(
+            "experiment.increment_host_gib", INCREMENT_GIB_BOUNDS
+        )
+        self.increment_wall_s = registry.histogram(
+            "experiment.increment_wall_s", INCREMENT_WALL_BOUNDS
+        )
+
+    @classmethod
+    def create(cls) -> Optional["ExperimentInstruments"]:
+        registry = get_registry()
+        return cls(registry) if registry.enabled else None

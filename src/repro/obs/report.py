@@ -1,0 +1,189 @@
+"""Render wear / write-amplification / GC summaries for ``repro report``.
+
+Two input shapes are understood, both JSONL:
+
+* a campaign **result store** (lines with ``key``/``spec``/``result``):
+  one summary row per point, with metrics-derived write amplification
+  and GC columns whenever the point ran with metrics enabled (the
+  snapshot rides in the record's telemetry);
+* an **emitter file** (lines with ``kind``/``seq``, see
+  :mod:`repro.obs.emit`): the last metrics snapshot is summarised plus
+  an event count per kind.
+
+Everything renders through :func:`repro.analysis.format_table` so the
+output matches the rest of the toolkit's artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+def _format_table(headers, rows) -> str:
+    # Imported lazily: analysis pulls in result records, which the
+    # low-level obs modules must not depend on at import time.
+    from repro.analysis import format_table
+
+    return format_table(headers, rows)
+
+
+def _metric_value(metrics: Dict[str, Any], name: str) -> Optional[float]:
+    entry = metrics.get(name)
+    if not isinstance(entry, dict) or "value" not in entry:
+        return None
+    return entry["value"]
+
+
+def write_amplification_of(metrics: Dict[str, Any]) -> Optional[float]:
+    """Live WA from a snapshot: flash pages programmed per host page."""
+    host = _metric_value(metrics, "ftl.host_pages")
+    flash = _metric_value(metrics, "ftl.flash_pages")
+    if not host or flash is None:
+        return None
+    return flash / host
+
+
+def _outcome_of(result: Dict[str, Any]) -> str:
+    kind = result.get("type", "?")
+    if kind == "bandwidth":
+        return f"{result.get('mib_per_s', 0.0):.1f} MiB/s"
+    if kind in ("wearout", "table1"):
+        if result.get("bricked"):
+            return "BRICKED"
+        levels = [rec["to_level"] for rec in result.get("increments", ())]
+        return f"level {max(levels)}" if levels else "level 1"
+    if kind == "phone":
+        if result.get("bricked"):
+            return "BRICKED"
+        detections = result.get("detections", ())
+        return f"{len(detections)} detections" if detections else "undetected"
+    return "?"
+
+
+def _host_gib_of(record: Dict[str, Any]) -> str:
+    result = record.get("result", {})
+    host_bytes = result.get("total_host_bytes")
+    if host_bytes is None:
+        metrics = (record.get("telemetry") or {}).get("metrics") or {}
+        host_bytes = result.get("attack_bytes")
+        if host_bytes is None:
+            host_pages = _metric_value(metrics, "ftl.host_pages")
+            if host_pages is None:
+                return "-"
+            host_bytes = host_pages * 4096
+    return f"{host_bytes / GIB:.2f}"
+
+
+def store_report(records: Iterable[Dict[str, Any]], title: str = "") -> str:
+    """One row per stored campaign point, metrics columns when present."""
+    rows: List[List[str]] = []
+    with_metrics = 0
+    records = list(records)
+    for record in sorted(records, key=lambda r: r.get("key", "")):
+        spec = record.get("spec", {})
+        result = record.get("result", {})
+        metrics = (record.get("telemetry") or {}).get("metrics") or {}
+        if metrics:
+            with_metrics += 1
+        wa = write_amplification_of(metrics)
+        gc_runs = _metric_value(metrics, "ftl.gc_runs")
+        erases = _metric_value(metrics, "ftl.blocks_erased")
+        bad = _metric_value(metrics, "flash.bad_blocks")
+        rows.append(
+            [
+                record.get("key", "")[:8],
+                ":".join(
+                    str(p)
+                    for p in (spec.get("kind", "?"), spec.get("device", "?"), spec.get("pattern", ""))
+                    if p
+                ),
+                f"{wa:.2f}" if wa is not None else "-",
+                f"{gc_runs:.0f}" if gc_runs is not None else "-",
+                f"{erases:.0f}" if erases is not None else "-",
+                f"{bad:.0f}" if bad is not None else "-",
+                _host_gib_of(record),
+                _outcome_of(result),
+            ]
+        )
+    table = _format_table(
+        ["key", "point", "WA", "GC runs", "erases", "bad blk", "host GiB", "outcome"], rows
+    )
+    header = title or "campaign store report"
+    footer = (
+        f"{len(rows)} points, {with_metrics} with metrics snapshots"
+        if rows
+        else "0 points"
+    )
+    return f"{header}\n{table}\n{footer}"
+
+
+def metrics_report(snapshot: Dict[str, Any], title: str = "metrics snapshot") -> str:
+    """Render one registry snapshot as an aligned table."""
+    rows: List[List[str]] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("kind", "?")
+        if kind == "histogram":
+            detail = f"count={entry.get('count', 0)} sum={entry.get('sum', 0):g}"
+            count = entry.get("count", 0)
+            mean = (entry.get("sum", 0) / count) if count else 0.0
+            rows.append([name, kind, f"{mean:g}", detail])
+        else:
+            rows.append([name, kind, f"{entry.get('value', 0):g}", ""])
+    wa = write_amplification_of(snapshot)
+    table = _format_table(["metric", "kind", "value", "detail"], rows)
+    lines = [title, table]
+    if wa is not None:
+        lines.append(f"write amplification (flash/host pages): {wa:.3f}")
+    return "\n".join(lines)
+
+
+def emitter_report(events: List[Dict[str, Any]]) -> str:
+    """Summarise an emitter JSONL: event counts + the last snapshot."""
+    kinds: Dict[str, int] = {}
+    last_snapshot: Optional[Dict[str, Any]] = None
+    for event in events:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        if event["kind"] == "metrics":
+            last_snapshot = event.get("data", {})
+    counts = _format_table(
+        ["event kind", "count"], [[k, str(kinds[k])] for k in sorted(kinds)]
+    )
+    sections = [f"{len(events)} events", counts]
+    if last_snapshot:
+        sections.append(metrics_report(last_snapshot, title="last metrics snapshot"))
+    return "\n\n".join(sections)
+
+
+def render_report(path: Union[str, Path]) -> str:
+    """Dispatch on file shape: result store vs emitter JSONL."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such report input: {path}")
+    first: Optional[Dict[str, Any]] = None
+    for line in path.read_text().splitlines():
+        if line.strip():
+            try:
+                first = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            break
+    if first is None:
+        raise ConfigurationError(f"{path} holds no JSON lines")
+    if "kind" in first and "seq" in first:
+        from repro.obs.emit import read_events
+
+        return emitter_report(read_events(path))
+    if "key" in first:
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(path)
+        return store_report(iter(store), title=f"store {path}")
+    raise ConfigurationError(
+        f"{path} is neither a campaign store nor an obs emitter file"
+    )

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, substream

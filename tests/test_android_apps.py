@@ -1,6 +1,5 @@
 """Tests for the app sandbox and the wear-out attack app (§4.4)."""
 
-import numpy as np
 import pytest
 
 from repro.android import Phone, WearAttackApp

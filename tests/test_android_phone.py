@@ -3,7 +3,7 @@
 import pytest
 
 from repro.android import ChargingSchedule, Phone, ScreenSchedule, WearAttackApp
-from repro.devices import DEVICE_SPECS, build_device
+from repro.devices import DEVICE_SPECS
 from repro.errors import DeviceBricked
 
 import dataclasses

@@ -9,7 +9,6 @@ import pytest
 import repro.campaign.runner as runner_mod
 from repro.campaign.registry import CAMPAIGNS, FIGURES, get_campaign, ordered_records
 from repro.campaign.runner import CampaignRunner
-from repro.campaign.spec import point_key
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError
 

@@ -2,11 +2,10 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.core import IncrementRecord, WearOutExperiment, WearOutResult
-from repro.devices import DEVICE_SPECS, build_device
+from repro.devices import DEVICE_SPECS
 from repro.fs import Ext4Model
 from repro.units import GIB, HOUR, KIB
 from repro.workloads import FileRewriteWorkload

@@ -54,3 +54,31 @@ class TestUncorrectableError:
     def test_custom_message(self):
         err = UncorrectableError(ppn=5, message="boom")
         assert str(err) == "boom"
+
+    def test_custom_message_still_carries_ppn(self):
+        err = UncorrectableError(ppn=5, message="boom")
+        assert err.ppn == 5
+
+    def test_caught_as_device_error_keeps_ppn(self):
+        try:
+            raise UncorrectableError(ppn=42)
+        except DeviceError as caught:
+            assert caught.ppn == 42
+
+
+class TestCatchability:
+    def test_repro_error_is_a_plain_exception(self):
+        # `except Exception` handlers must see simulated failures;
+        # they must not look like interpreter-exit signals.
+        assert issubclass(ReproError, Exception)
+        assert not issubclass(ReproError, SystemExit)
+
+    def test_configuration_error_is_not_a_device_error(self):
+        # Config mistakes (caller bugs) must not be swallowed by code
+        # that handles simulated hardware failures.
+        assert not issubclass(ConfigurationError, DeviceError)
+        assert not issubclass(OutOfSpaceError, DeviceError)
+
+    def test_device_error_does_not_catch_app_errors(self):
+        assert not issubclass(PermissionDenied, DeviceError)
+        assert not issubclass(AppKilledError, DeviceError)

@@ -13,7 +13,7 @@ import pytest
 
 from repro.devices import DEVICE_SPECS
 from repro.errors import DeviceBricked, DeviceWornOut, ReadOnlyError, UncorrectableError
-from repro.flash import BerModel, CELL_SPECS, CellType, EccConfig, FlashGeometry, FlashPackage, HealingModel
+from repro.flash import CELL_SPECS, CellType, EccConfig, FlashGeometry, FlashPackage, HealingModel
 from repro.ftl import PageMappedFTL
 from repro.units import KIB
 

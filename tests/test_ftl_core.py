@@ -270,7 +270,9 @@ class TestWearAndEol:
             for _ in range(60):
                 lpns = rng.integers(0, span, size=2000)
                 ftl.write_requests(lpns * page, page)
-        spread = lambda f: f.package.pe_counts.std()
+        def spread(f):
+            return f.package.pe_counts.std()
+
         assert spread(unlevelled) >= spread(levelled)
 
     def test_spare_consumption_bounds(self, small_ftl):

@@ -1,6 +1,5 @@
 """Tests for FTL statistics / write-amplification accounting."""
 
-import pytest
 
 from repro.ftl import FtlStats
 

@@ -4,14 +4,13 @@ Each test reproduces one quantitative claim from §4.3/§4.4 in miniature
 and checks the *shape* — who wins, by what rough factor — holds.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import compare
 from repro.core import WearOutExperiment, estimate_lifetime
 from repro.devices import build_device
 from repro.fs import Ext4Model, F2fsModel
-from repro.units import GB, GIB, KIB, TIB
+from repro.units import GB, KIB
 from repro.workloads import FileRewriteWorkload
 
 

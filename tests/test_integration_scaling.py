@@ -10,7 +10,7 @@ import pytest
 from repro.core import WearOutExperiment
 from repro.devices import build_device
 from repro.fs import Ext4Model
-from repro.units import GIB, KIB
+from repro.units import KIB
 from repro.workloads import FileRewriteWorkload
 
 

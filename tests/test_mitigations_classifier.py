@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.mitigations import AppIoFeatures, IoPatternClassifier
 from repro.units import GIB, KIB, MIB
-from repro.workloads.traces import BENIGN_TRACES, attack_trace, spotify_bug_trace
+from repro.workloads.traces import BENIGN_TRACES, spotify_bug_trace
 
 
 def features_from_trace(trace, overwrite_ratio: float, active_fraction: float) -> AppIoFeatures:

@@ -5,7 +5,7 @@ import pytest
 from repro.devices import build_device
 from repro.errors import ConfigurationError
 from repro.mitigations import LifespanRateLimiter, TokenBucket
-from repro.units import DAY, GIB, MIB
+from repro.units import DAY, MIB
 
 
 class TestTokenBucket:

@@ -1,0 +1,142 @@
+"""Integration tests: instruments threaded through the simulator layers.
+
+Covers the DESIGN.md §9 contracts end to end: disabled-mode holders are
+``None``, enabling at construction binds instruments, simulation results
+are identical with metrics on or off, and campaign stores carry metrics
+snapshots only as telemetry (fingerprint-neutral).
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignRunner, ResultStore, get_campaign
+from repro.devices import DEVICE_SPECS
+from repro.fs import Ext4Model
+from repro.core import WearOutExperiment
+from repro.obs import JsonlEmitter, disable, metrics_enabled
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+
+@pytest.fixture(autouse=True)
+def _metrics_disabled_after():
+    yield
+    disable()
+
+
+def build_small_device(seed=3):
+    return DEVICE_SPECS["emmc-8gb"].build(scale=256, seed=seed)
+
+
+class TestDisabledMode:
+    def test_holders_are_none(self):
+        device = build_small_device()
+        assert device.ftl._obs is None
+        assert device.ftl.package._obs is None
+
+    def test_enabled_holders_are_bound(self):
+        with metrics_enabled():
+            device = build_small_device()
+        assert device.ftl._obs is not None
+        assert device.ftl.package._obs is not None
+
+
+class TestFtlInstrumentation:
+    def test_write_path_counts_host_and_flash_pages(self):
+        with metrics_enabled() as reg:
+            device = build_small_device()
+            device.write_many(np.arange(64, dtype=np.int64) * 4 * KIB, 4 * KIB)
+        snap = reg.snapshot()
+        assert snap["ftl.host_pages"]["value"] == 64
+        assert snap["ftl.flash_pages"]["value"] >= 64
+        assert snap["flash.page_programs"]["value"] >= 64
+
+    def test_gc_activity_recorded_under_churn(self):
+        with metrics_enabled() as reg:
+            device = build_small_device()
+            rng = np.random.default_rng(0)
+            span = device.logical_capacity // (4 * KIB) // 2
+            for _ in range(40):
+                device.write_many(rng.integers(0, span, size=2000) * 4 * KIB, 4 * KIB)
+        snap = reg.snapshot()
+        assert snap["ftl.gc_runs"]["value"] > 0
+        assert snap["ftl.blocks_erased"]["value"] > 0
+        victims = snap["ftl.gc_victim_valid_units"]
+        assert victims["count"] == snap["ftl.gc_runs"]["value"]
+        assert snap["ftl.free_blocks"]["kind"] == "gauge"
+        assert snap["ftl.free_blocks"]["value"] > 0
+
+    def test_gc_metrics_agree_with_ftl_stats(self):
+        with metrics_enabled() as reg:
+            device = build_small_device()
+            rng = np.random.default_rng(1)
+            span = device.logical_capacity // (4 * KIB) // 2
+            for _ in range(40):
+                device.write_many(rng.integers(0, span, size=2000) * 4 * KIB, 4 * KIB)
+        snap = reg.snapshot()
+        stats = device.ftl.stats
+        assert snap["ftl.gc_runs"]["value"] == stats.gc_runs
+        assert snap["ftl.blocks_erased"]["value"] == stats.blocks_erased
+        assert snap["ftl.gc_pages_copied"]["value"] == stats.gc_pages_copied
+        assert snap["ftl.host_pages"]["value"] == stats.host_pages_requested
+
+    def test_results_identical_with_metrics_on_and_off(self):
+        def run(enabled):
+            def drive():
+                device = build_small_device(seed=9)
+                rng = np.random.default_rng(2)
+                span = device.logical_capacity // (4 * KIB) // 2
+                for _ in range(10):
+                    device.write_many(rng.integers(0, span, size=1000) * 4 * KIB, 4 * KIB)
+                return sorted(vars(device.ftl.stats).items())
+
+            if enabled:
+                with metrics_enabled():
+                    return drive()
+            return drive()
+
+        assert run(False) == run(True)
+
+
+class TestExperimentInstrumentation:
+    def test_emitter_receives_increment_events(self):
+        stream = io.StringIO()
+        device = build_small_device()
+        fs = Ext4Model(device)
+        workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=7)
+        with metrics_enabled() as reg:
+            experiment = WearOutExperiment(
+                device, workload, filesystem=fs, emitter=JsonlEmitter(stream)
+            )
+            experiment.run(until_level=2)
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert events, "no increment events emitted"
+        assert all(e["kind"] == "increment" for e in events)
+        assert events[0]["data"]["to_level"] == 2
+        snap = reg.snapshot()
+        assert snap["experiment.steps"]["value"] > 0
+        assert snap["experiment.increments"]["value"] == len(events)
+        assert snap["experiment.increment_host_gib"]["count"] == len(events)
+
+
+class TestCampaignTelemetry:
+    def test_snapshots_ride_in_telemetry_and_fingerprint_is_neutral(self):
+        spec = get_campaign("smoke")
+
+        plain = ResultStore(None)
+        CampaignRunner(spec, plain).run(workers=1)
+
+        metered = ResultStore(None)
+        with metrics_enabled():
+            CampaignRunner(spec, metered).run(workers=1)
+
+        assert plain.fingerprint() == metered.fingerprint()
+        for key in metered.completed_keys():
+            snapshot = metered.metrics_for(key)
+            assert snapshot, f"point {key} has no metrics snapshot"
+            assert snapshot["ftl.host_pages"]["value"] > 0
+        for key in plain.completed_keys():
+            assert plain.metrics_for(key) is None

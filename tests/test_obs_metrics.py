@@ -1,0 +1,198 @@
+"""Tests for the metrics instruments, registry, and enable/disable gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    is_enabled,
+    metrics_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_disabled_after():
+    yield
+    disable()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(3)
+        assert c.snapshot() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("x")
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+
+    def test_inc_adjusts(self):
+        g = Gauge("x")
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3
+        assert g.snapshot() == {"kind": "gauge", "value": 3}
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_edge(self):
+        h = Histogram("x", bounds=(1, 10))
+        h.observe(0)   # <= 1
+        h.observe(1)   # <= 1 (inclusive)
+        h.observe(5)   # <= 10
+        h.observe(11)  # overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == 17
+
+    def test_observe_repeat_matches_individual_observes(self):
+        a = Histogram("a", bounds=(0, 2, 8))
+        b = Histogram("b", bounds=(0, 2, 8))
+        for _ in range(5):
+            a.observe(0)
+        b.observe_repeat(0, 5)
+        assert a.snapshot() == {**b.snapshot(), "kind": "histogram"}
+
+    def test_observe_repeat_nonpositive_is_noop(self):
+        h = Histogram("x", bounds=(1,))
+        h.observe_repeat(1, 0)
+        h.observe_repeat(1, -3)
+        assert h.count == 0
+
+    def test_observe_many(self):
+        h = Histogram("x", bounds=(1, 2))
+        h.observe_many([0, 1, 2, 3])
+        assert h.count == 4
+
+    def test_mean(self):
+        h = Histogram("x", bounds=(10,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", bounds=(5, 1))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", bounds=())
+
+
+class TestNullInstrument:
+    def test_implements_every_surface_as_noop(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.inc(5)
+        NULL_INSTRUMENT.set(3)
+        NULL_INSTRUMENT.observe(1)
+        NULL_INSTRUMENT.observe_many([1, 2])
+        NULL_INSTRUMENT.observe_repeat(1, 10)
+        assert NULL_INSTRUMENT.value == 0
+        assert NULL_INSTRUMENT.count == 0
+        assert NULL_INSTRUMENT.snapshot() == {"kind": "null"}
+
+    def test_null_registry_hands_out_the_shared_instance(self):
+        assert NULL_REGISTRY.counter("a") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.gauge("b") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.histogram("c", (1,)) is NULL_INSTRUMENT
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.get("a") is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("ftl.gc_runs")
+        c2 = reg.counter("ftl.gc_runs")
+        assert c1 is c2
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("x", (1,))
+
+    def test_snapshot_sorted_and_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("b.two").inc(2)
+        reg.counter("a.one").inc(1)
+        reg.histogram("c.three", (1, 2)).observe(1)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.one", "b.two", "c.three"]
+        # Telemetry contract: snapshots must survive a JSON round trip.
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_names_iter_len(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert len(reg) == 2
+        assert {i.name for i in reg} == {"a", "b"}
+
+    def test_reset_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not is_enabled()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_enable_installs_fresh_registry(self):
+        reg = enable()
+        assert is_enabled()
+        assert get_registry() is reg
+        disable()
+        assert get_registry() is NULL_REGISTRY
+
+    def test_enable_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        assert enable(mine) is mine
+        assert get_registry() is mine
+
+    def test_context_restores_previous_registry(self):
+        with metrics_enabled() as reg:
+            assert get_registry() is reg
+        assert get_registry() is NULL_REGISTRY
+
+    def test_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with metrics_enabled():
+                raise RuntimeError("boom")
+        assert not is_enabled()
+
+    def test_contexts_nest(self):
+        with metrics_enabled() as outer:
+            with metrics_enabled() as inner:
+                assert get_registry() is inner
+                assert inner is not outer
+            assert get_registry() is outer

@@ -1,0 +1,142 @@
+"""Tests for report rendering and the ``repro report`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.errors import ConfigurationError
+from repro.obs import (
+    JsonlEmitter,
+    MetricsRegistry,
+    emitter_report,
+    metrics_report,
+    render_report,
+    store_report,
+    write_amplification_of,
+)
+
+
+def _snapshot(host=100, flash=250, gc_runs=7, erases=9, bad=1):
+    reg = MetricsRegistry()
+    reg.counter("ftl.host_pages").inc(host)
+    reg.counter("ftl.flash_pages").inc(flash)
+    reg.counter("ftl.gc_runs").inc(gc_runs)
+    reg.counter("ftl.blocks_erased").inc(erases)
+    reg.counter("flash.bad_blocks").inc(bad)
+    reg.histogram("ftl.gc_victim_valid_units", (0, 8)).observe_repeat(0, 5)
+    return reg.snapshot()
+
+
+def _store_record(key, metrics=None):
+    return {
+        "key": key,
+        "campaign": "t",
+        "spec": {"kind": "wearout", "device": "emmc-8gb", "pattern": "rand"},
+        "seed": 1,
+        "result": {
+            "type": "wearout",
+            "bricked": False,
+            "total_host_bytes": 4 << 30,
+            "increments": [{"to_level": 3}],
+        },
+        "telemetry": {"elapsed_s": 0.5, **({"metrics": metrics} if metrics else {})},
+    }
+
+
+class TestWriteAmplification:
+    def test_ratio(self):
+        assert write_amplification_of(_snapshot(host=100, flash=250)) == pytest.approx(2.5)
+
+    def test_missing_or_zero_host_pages(self):
+        assert write_amplification_of({}) is None
+        assert write_amplification_of(_snapshot(host=0)) is None
+
+
+class TestMetricsReport:
+    def test_lists_metrics_and_wa(self):
+        text = metrics_report(_snapshot())
+        assert "ftl.gc_runs" in text
+        assert "histogram" in text
+        assert "write amplification" in text
+        assert "2.500" in text
+
+
+class TestStoreReport:
+    def test_rows_with_and_without_metrics(self):
+        text = store_report(
+            [_store_record("aaaa1111", metrics=_snapshot()), _store_record("bbbb2222")]
+        )
+        assert "aaaa1111"[:8] in text
+        assert "wearout:emmc-8gb:rand" in text
+        assert "2.50" in text  # WA column for the metrics-bearing point
+        assert "level 3" in text
+        assert "2 points, 1 with metrics snapshots" in text
+
+    def test_empty_store(self):
+        assert "0 points" in store_report([])
+
+    def test_bricked_outcome(self):
+        record = _store_record("cccc3333")
+        record["result"]["bricked"] = True
+        assert "BRICKED" in store_report([record])
+
+
+class TestEmitterReport:
+    def test_counts_kinds_and_shows_last_snapshot(self):
+        events = [
+            {"kind": "increment", "seq": 0, "data": {}},
+            {"kind": "increment", "seq": 1, "data": {}},
+            {"kind": "metrics", "seq": 2, "data": _snapshot()},
+        ]
+        text = emitter_report(events)
+        assert "3 events" in text
+        assert "increment" in text
+        assert "last metrics snapshot" in text
+
+
+class TestRenderReportDispatch:
+    def test_store_file(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(json.dumps(_store_record("dddd4444", metrics=_snapshot())) + "\n")
+        assert "1 points, 1 with metrics snapshots" in render_report(path)
+
+    def test_emitter_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEmitter(path) as emitter:
+            emitter.emit("increment", {"level": 2})
+        assert "1 events" in render_report(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            render_report(tmp_path / "nope.jsonl")
+
+    def test_unrecognized_shape_raises(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"neither": true}\n')
+        with pytest.raises(ConfigurationError):
+            render_report(path)
+
+    def test_no_json_lines_raises(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            render_report(path)
+
+
+class TestReportCli:
+    def test_renders_store_by_path(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        path.write_text(json.dumps(_store_record("eeee5555")) + "\n")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 points" in out
+
+    def test_resolves_campaign_name_against_store_dir(self, tmp_path, capsys):
+        (tmp_path / "smoke.jsonl").write_text(json.dumps(_store_record("ffff6666")) + "\n")
+        assert main(["report", "smoke", "--store-dir", str(tmp_path)]) == 0
+        assert "1 points" in capsys.readouterr().out
+
+    def test_missing_source_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", "missing", "--store-dir", str(tmp_path)]) == 1
+        assert "report failed" in capsys.readouterr().err

@@ -7,7 +7,6 @@ ever increases, and block accounting never loses a block.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

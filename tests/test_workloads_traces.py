@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.units import GIB, MIB
+from repro.units import MIB
 from repro.workloads.traces import AppTrace, BENIGN_TRACES, attack_trace, spotify_bug_trace
 
 

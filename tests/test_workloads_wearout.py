@@ -1,12 +1,11 @@
 """Tests for the file-rewrite wear-out workload (§4.3/§4.4)."""
 
-import numpy as np
 import pytest
 
 from repro.devices import build_device
 from repro.errors import ConfigurationError
 from repro.fs import Ext4Model
-from repro.units import KIB, MIB
+from repro.units import KIB
 from repro.workloads import FileRewriteWorkload, fill_static_space
 
 
