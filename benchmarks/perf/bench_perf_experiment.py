@@ -1,0 +1,168 @@
+"""Perf benchmark: checkpointing, warm-start campaigns, fast polling.
+
+Three aspects of the wear-state subsystem (DESIGN.md §10), each of
+which doubles as a bit-identity check:
+
+* ``experiment_loop`` — a single wear-out run to level 3 through the
+  full stack with the default increment-aware polling.  Canary for the
+  experiment-loop cost with checkpointing *disabled*: the machinery
+  must stay effectively free when unused.
+* ``checkpoint_roundtrip`` — snapshot -> compressed .npz -> load ->
+  restore into a fresh twin, timed end to end.  Bounds the cost a
+  campaign pays per checkpoint save/restore.
+* ``warmstart_grid_cold`` / ``warmstart_grid_warm`` — a 7-point grid
+  (``until_level`` 2..8 over one shared trajectory) run cold and then
+  against a primed checkpoint cache.  Both must land on the same
+  canonical store fingerprint, and ``--check`` enforces the headline
+  >= 3x warm-start speedup: cold replays 1+2+...+7 = 28 level-units,
+  warm replays the deepest unit per point (7 total).
+
+Run directly:
+``PYTHONPATH=src python benchmarks/perf/bench_perf_experiment.py``
+(``--check`` for CI gating, ``--update`` to refresh the baseline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.campaign import CampaignRunner, ResultStore
+from repro.campaign.spec import CampaignSpec, PointSpec
+from repro.core import WearOutExperiment
+from repro.devices import build_device
+from repro.fs import Ext4Model
+from repro.state import load_state, restore_experiment, save_state, snapshot_experiment
+from repro.units import KIB
+from repro.workloads import FileRewriteWorkload
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+from benchmarks.perf.common import BenchCase, ftl_fingerprint, main  # noqa: E402
+
+#: Digest of the level-3 experiment outcome (increments, volumes, FTL
+#: stats) — identical with fast or naive polling by construction.
+EXPERIMENT_FINGERPRINT = "c30e0309dbf127e759af9453a323928e0f67cfc3ea5b5b9cc0f9141d4070df8c"
+
+#: End-state digest of the restored twin (equals the source's digest).
+ROUNDTRIP_FINGERPRINT = "f2c63041e807f35c42599b8e9f3c7008576bc460e99d93b7c4343449be6af1b8"
+
+#: Canonical store digest of the 7-point grid — identical cold or warm.
+WARMGRID_FINGERPRINT = "5bd5ad028945b4bea0c507bc156c4478bc9fa83ecf6cab1776fb6f8458941e54"
+
+WARMSTART_SPEEDUP = 3.0
+
+#: Best elapsed seconds per case, for the speedup check after main().
+_BEST = {}
+
+#: Primed checkpoint cache shared by the warm case's repeats.
+_WARM_CACHE = {"dir": None}
+
+
+def _experiment(seed=7):
+    device = build_device("emmc-8gb", scale=512, seed=seed)
+    fs = Ext4Model(device)
+    workload = FileRewriteWorkload(fs, num_files=4, request_bytes=4 * KIB, seed=seed)
+    return WearOutExperiment(device, workload, filesystem=fs)
+
+
+def _result_digest(experiment) -> str:
+    result = experiment.result
+    increments = [
+        (r.memory_type, r.from_level, r.to_level, int(r.host_bytes))
+        for r in result.increments
+    ]
+    stats = dict(sorted(vars(experiment.device.ftl.stats).items()))
+    return hashlib.sha256(
+        repr((increments, int(result.total_host_bytes), stats)).encode()
+    ).hexdigest()
+
+
+def run_experiment_loop():
+    experiment = _experiment()
+    start = time.perf_counter()
+    experiment.run(until_level=3)
+    elapsed = time.perf_counter() - start
+    return elapsed, _result_digest(experiment)
+
+
+def run_checkpoint_roundtrip():
+    source = _experiment()
+    source.run(until_level=2)
+    twin = _experiment()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "ck.npz"
+        start = time.perf_counter()
+        save_state(path, snapshot_experiment(source))
+        restore_experiment(twin, load_state(path))
+        elapsed = time.perf_counter() - start
+    assert twin.steps_completed == source.steps_completed
+    return elapsed, ftl_fingerprint(twin.device.ftl)
+
+
+def _grid():
+    return CampaignSpec(
+        name="bench-warmstart-grid",
+        points=[
+            PointSpec(kind="wearout", device="emmc-8gb", scale=512, seed=7,
+                      filesystem="ext4", until_level=level)
+            for level in range(2, 9)
+        ],
+        base_seed=1,
+    )
+
+
+def _run_grid(case_name, checkpoint_dir=None):
+    store = ResultStore(None)
+    runner = CampaignRunner(_grid(), store, checkpoint_dir=checkpoint_dir)
+    start = time.perf_counter()
+    report = runner.run()
+    elapsed = time.perf_counter() - start
+    assert report.ran == 7, f"expected 7 points, ran {report.ran}"
+    _BEST[case_name] = min(elapsed, _BEST.get(case_name, float("inf")))
+    return elapsed, store.fingerprint()
+
+
+def run_grid_cold():
+    return _run_grid("warmstart_grid_cold")
+
+
+def run_grid_warm():
+    if _WARM_CACHE["dir"] is None:
+        # Prime the cache once (untimed): one pass with checkpointing
+        # populates every crossing snapshot along the shared trajectory.
+        _WARM_CACHE["dir"] = tempfile.mkdtemp(prefix="bench-warmstart-")
+        CampaignRunner(
+            _grid(), ResultStore(None), checkpoint_dir=_WARM_CACHE["dir"]
+        ).run()
+    return _run_grid("warmstart_grid_warm", checkpoint_dir=_WARM_CACHE["dir"])
+
+
+CASES = [
+    BenchCase("experiment_loop", run_experiment_loop, EXPERIMENT_FINGERPRINT),
+    BenchCase("checkpoint_roundtrip", run_checkpoint_roundtrip, ROUNDTRIP_FINGERPRINT),
+    BenchCase("warmstart_grid_cold", run_grid_cold, WARMGRID_FINGERPRINT),
+    BenchCase("warmstart_grid_warm", run_grid_warm, WARMGRID_FINGERPRINT),
+]
+
+
+def _speedup_check(check: bool) -> int:
+    cold = _BEST.get("warmstart_grid_cold")
+    warm = _BEST.get("warmstart_grid_warm")
+    if not cold or not warm:
+        return 0
+    speedup = cold / warm
+    print(f"warm-start speedup: {speedup:.2f}x (cold {cold:.2f}s, warm {warm:.2f}s)")
+    if check and speedup < WARMSTART_SPEEDUP:
+        print(f"FAIL: warm-start speedup {speedup:.2f}x < {WARMSTART_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    code = main(CASES, argv)
+    code = code or _speedup_check("--check" in argv)
+    sys.exit(code)

@@ -107,6 +107,12 @@ from repro.campaign import (
     expand_grid,
     get_campaign,
 )
+from repro.state import (
+    CheckpointManager,
+    restore_experiment,
+    snapshot_experiment,
+    warm_start_key,
+)
 
 __version__ = "1.0.0"
 
@@ -138,6 +144,9 @@ __all__ = [
     # campaigns
     "CampaignSpec", "PointSpec", "CampaignRunner", "ResultStore",
     "CAMPAIGNS", "get_campaign", "expand_grid",
+    # state (wear checkpoints)
+    "CheckpointManager", "snapshot_experiment", "restore_experiment",
+    "warm_start_key",
     # errors
     "ReproError", "ConfigurationError", "DeviceError", "DeviceWornOut",
     "DeviceBricked", "UncorrectableError", "ReadOnlyError", "OutOfSpaceError",

@@ -16,7 +16,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.android import Phone, WearAttackApp
 from repro.campaign.spec import CampaignSpec, PointSpec, resolve_seed
@@ -26,6 +26,7 @@ from repro.devices import DEVICE_SPECS, build_device
 from repro.errors import ConfigurationError
 from repro.fs import make_filesystem
 from repro.obs import MetricsRegistry, SpanRecorder, is_enabled, metrics_enabled, worker_utilization
+from repro.state import CheckpointError, CheckpointManager, restore_experiment, warm_start_key
 from repro.units import KIB
 from repro.workloads import FileRewriteWorkload, fill_static_space, measure_bandwidth
 
@@ -37,7 +38,7 @@ def _filesystem_for(spec: PointSpec, device) -> Any:
     return make_filesystem(kind, device)
 
 
-def _run_bandwidth(spec: PointSpec, seed: int) -> Dict[str, Any]:
+def _run_bandwidth(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Figure 1 point: one (device, pattern, request size) bandwidth
     measurement on a fresh device."""
     device = build_device(spec.device, scale=spec.scale, seed=seed)
@@ -47,9 +48,18 @@ def _run_bandwidth(spec: PointSpec, seed: int) -> Dict[str, Any]:
     return {"type": "bandwidth", **point.to_dict()}
 
 
-def _run_wearout(spec: PointSpec, seed: int) -> Dict[str, Any]:
+def _run_wearout(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Figure 2/3/4 point: rewrite until the wear indicator hits the
-    target level."""
+    target level.
+
+    With a ``checkpoint`` config ({"dir": ..., "interval": ...}) the
+    point warm-starts from the deepest compatible snapshot sharing its
+    warm key — points walking the same device to successive levels
+    replay only the deepest stretch — and auto-saves snapshots at every
+    crossing plus every ``interval`` steps.  Warm-started results are
+    bit-identical to cold ones (DESIGN.md §10), so store fingerprints
+    do not depend on whether, or how much of, the cache was hit.
+    """
     device = build_device(spec.device, scale=spec.scale, seed=seed)
     fs = _filesystem_for(spec, device)
     workload = FileRewriteWorkload(
@@ -59,13 +69,28 @@ def _run_wearout(spec: PointSpec, seed: int) -> Dict[str, Any]:
         pattern=spec.pattern,
         seed=seed,
     )
-    result = WearOutExperiment(device, workload, filesystem=fs).run(
-        until_level=spec.until_level
-    )
+    experiment = WearOutExperiment(device, workload, filesystem=fs)
+    if checkpoint is not None:
+        manager = CheckpointManager(checkpoint["dir"])
+        key = warm_start_key(spec.to_dict(), seed)
+        state = manager.best(key, until_level=spec.until_level)
+        if state is not None:
+            try:
+                restore_experiment(experiment, state)
+            except CheckpointError:
+                # Incompatible snapshot (stale cache dir): cold-start.
+                pass
+        experiment.enable_checkpointing(
+            manager,
+            key,
+            interval_steps=int(checkpoint.get("interval", 0)),
+            extra_meta={"point": spec.display, "seed": int(seed)},
+        )
+    result = experiment.run(until_level=spec.until_level)
     return {"type": "wearout", **result.to_dict()}
 
 
-def _run_table1(spec: PointSpec, seed: int) -> Dict[str, Any]:
+def _run_table1(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Table 1 point: the hybrid device's phase protocol — 4 KiB rand,
     128 KiB seq, then rand rewrite at 90%+ utilization."""
     device = build_device(spec.device, scale=spec.scale, seed=seed)
@@ -98,7 +123,7 @@ def _run_table1(spec: PointSpec, seed: int) -> Dict[str, Any]:
     }
 
 
-def _run_phone(spec: PointSpec, seed: int) -> Dict[str, Any]:
+def _run_phone(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """§4.4 point: attack app on a phone model, one strategy."""
     device = build_device(spec.device, scale=spec.scale, seed=seed)
     phone = Phone(device, filesystem=spec.filesystem or "ext4")
@@ -120,7 +145,7 @@ def _run_phone(spec: PointSpec, seed: int) -> Dict[str, Any]:
     }
 
 
-_EXECUTORS: Dict[str, Callable[[PointSpec, int], Dict[str, Any]]] = {
+_EXECUTORS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "bandwidth": _run_bandwidth,
     "wearout": _run_wearout,
     "table1": _run_table1,
@@ -145,16 +170,17 @@ def run_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     spec = PointSpec.from_dict(payload["spec"])
     seed = payload["seed"]
+    checkpoint = payload.get("checkpoint")
     recorder = SpanRecorder()
     telemetry: Dict[str, Any] = {}
     if payload.get("metrics"):
         with metrics_enabled(MetricsRegistry()) as registry:
             with recorder.span(f"point:{payload['key']}"):
-                result = _EXECUTORS[spec.kind](spec, seed)
+                result = _EXECUTORS[spec.kind](spec, seed, checkpoint=checkpoint)
             telemetry["metrics"] = registry.snapshot()
     else:
         with recorder.span(f"point:{payload['key']}"):
-            result = _EXECUTORS[spec.kind](spec, seed)
+            result = _EXECUTORS[spec.kind](spec, seed, checkpoint=checkpoint)
     telemetry["elapsed_s"] = recorder.spans[-1].elapsed_s
     telemetry["worker_pid"] = os.getpid()
     return {
@@ -201,6 +227,13 @@ class CampaignRunner:
             elsewhere.  Results never depend on the start method — the
             determinism contract is enforced by content-derived seeds,
             not by shared state.
+        checkpoint_dir: Enable the wear-state warm-start cache: wear-out
+            points save snapshots here and restore the deepest
+            compatible one sharing their warm key (DESIGN.md §10).
+            Results are bit-identical with or without it.
+        checkpoint_interval: Steps between rolling work-in-progress
+            snapshots (0 disables them; crossing snapshots are always
+            written when ``checkpoint_dir`` is set).
     """
 
     def __init__(
@@ -208,6 +241,8 @@ class CampaignRunner:
         spec: CampaignSpec,
         store: Optional[ResultStore] = None,
         mp_context: Optional[str] = None,
+        checkpoint_dir: Union[str, "os.PathLike[str]", None] = None,
+        checkpoint_interval: int = 2000,
     ):
         self.spec = spec
         self.store = store if store is not None else ResultStore(None)
@@ -215,6 +250,10 @@ class CampaignRunner:
             available = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in available else "spawn"
         self.mp_context = mp_context
+        if checkpoint_interval < 0:
+            raise ConfigurationError("checkpoint_interval must be >= 0")
+        self.checkpoint_dir = None if checkpoint_dir is None else str(checkpoint_dir)
+        self.checkpoint_interval = int(checkpoint_interval)
 
     def pending_points(self) -> List[Dict[str, Any]]:
         """Worker payloads for every point not already in the store.
@@ -228,15 +267,19 @@ class CampaignRunner:
         for key, point in self.spec.keyed_points():
             if key in self.store:
                 continue
-            payloads.append(
-                {
-                    "key": key,
-                    "campaign": self.spec.name,
-                    "spec": point.to_dict(),
-                    "seed": resolve_seed(point, self.spec.base_seed),
-                    "metrics": metrics,
+            payload = {
+                "key": key,
+                "campaign": self.spec.name,
+                "spec": point.to_dict(),
+                "seed": resolve_seed(point, self.spec.base_seed),
+                "metrics": metrics,
+            }
+            if self.checkpoint_dir is not None:
+                payload["checkpoint"] = {
+                    "dir": self.checkpoint_dir,
+                    "interval": self.checkpoint_interval,
                 }
-            )
+            payloads.append(payload)
         return payloads
 
     def run(

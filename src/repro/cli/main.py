@@ -86,6 +86,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-point metrics snapshots into the store's telemetry "
         "(inspect with 'repro report'; never changes the store fingerprint)",
     )
+    camp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="wear-state checkpoint directory: wear-out points warm-start "
+        "from the deepest compatible snapshot and save new ones as they "
+        "run; results are bit-identical with or without it (DESIGN.md §10)",
+    )
+    camp.add_argument(
+        "--checkpoint-interval", type=int, default=2000,
+        help="steps between rolling work-in-progress snapshots when "
+        "--checkpoint-dir is set (0 keeps only crossing snapshots; "
+        "default: 2000)",
+    )
+
+    state = sub.add_parser(
+        "state",
+        help="inspect wear-state checkpoints",
+        description="Utilities for the wear-state snapshot files written "
+        "by 'repro campaign --checkpoint-dir' (DESIGN.md §10).",
+    )
+    state.add_argument("action", choices=["inspect"], help="what to do")
+    state.add_argument("checkpoint", help="path to a .npz checkpoint file")
 
     figs = sub.add_parser(
         "figures",
@@ -223,7 +244,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     spec = get_campaign(args.name)
     store = _store_for(args.store_dir, args.name)
     progress = None if args.quiet else print
-    runner = CampaignRunner(spec, store)
+    runner = CampaignRunner(
+        spec,
+        store,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+    )
     if args.metrics:
         with metrics_enabled():
             report = runner.run(workers=args.workers, fresh=args.fresh, progress=progress)
@@ -258,6 +284,28 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_state(args: argparse.Namespace) -> int:
+    from repro.state import CheckpointError, inspect_checkpoint
+
+    path = pathlib.Path(args.checkpoint)
+    try:
+        info = inspect_checkpoint(path)
+    except (OSError, CheckpointError) as exc:
+        print(f"inspect failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"checkpoint: {path}")
+    for field in ("version", "steps_completed", "last_levels", "checkpoint"):
+        if field in info:
+            print(f"  {field}: {info[field]}")
+    rows = [
+        [name, "x".join(str(d) for d in spec["shape"]) or "scalar", spec["dtype"]]
+        for name, spec in sorted(info["arrays"].items())
+    ]
+    print()
+    print(format_table(["array", "shape", "dtype"], rows))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     source = pathlib.Path(args.source)
     if not source.exists():
@@ -281,6 +329,7 @@ _COMMANDS = {
     "campaign": cmd_campaign,
     "figures": cmd_figures,
     "report": cmd_report,
+    "state": cmd_state,
 }
 
 

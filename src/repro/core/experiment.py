@@ -13,7 +13,7 @@ attributes (see :mod:`repro.workloads.wearout`).
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.clock import SimClock
 from repro.core.results import IncrementRecord, WearOutResult
@@ -46,6 +46,7 @@ class WearOutExperiment:
         filesystem=None,
         clock: Optional[SimClock] = None,
         emitter: Optional[JsonlEmitter] = None,
+        fast_poll: bool = True,
     ):
         self.device = device
         self.workload = workload
@@ -62,6 +63,44 @@ class WearOutExperiment:
         # per-increment wall-time histogram (DESIGN.md §9).
         self._phase_wall: Dict[str, float] = {}
         self._obs = ExperimentInstruments.create()
+        # Increment-aware polling: after every real indicator read the
+        # device hands back a conservative erase budget per memory type;
+        # while no pool has spent its budget the indicator level provably
+        # cannot have risen, so wear_indicators() is skipped and the
+        # cached reading reused (DESIGN.md §10).  ``fast_poll=False``
+        # restores naive per-step polling (the equivalence reference),
+        # as does a duck-typed device that offers no poll hints.
+        self.fast_poll = fast_poll and hasattr(device, "wear_poll_hints")
+        self._last_indicators: Optional[Dict[str, WearIndicator]] = None
+        self._poll_budget: Optional[list] = None
+        # Completed workload steps; checkpoint identity (DESIGN.md §10)
+        # and the periodic-save cadence both key off it.
+        self.steps_completed = 0
+        self._ckpt_manager: Any = None
+        self._ckpt_key: Optional[str] = None
+        self._ckpt_interval = 0
+        self._ckpt_meta: Dict = {}
+
+    def enable_checkpointing(
+        self,
+        manager,
+        key: str,
+        interval_steps: int = 0,
+        extra_meta: Optional[Dict] = None,
+    ) -> None:
+        """Auto-save wear-state snapshots while running.
+
+        A snapshot is written through ``manager`` (a
+        :class:`repro.state.CheckpointManager`) at every indicator
+        crossing — the state there equals the end state of a shorter run
+        to that level, which is what warm-starting restores — and, when
+        ``interval_steps`` > 0, every that many steps (a rolling
+        work-in-progress file for mid-point resume).
+        """
+        self._ckpt_manager = manager
+        self._ckpt_key = key
+        self._ckpt_interval = int(interval_steps)
+        self._ckpt_meta = dict(extra_meta or {})
 
     # ------------------------------------------------------------------
 
@@ -126,9 +165,42 @@ class WearOutExperiment:
         if obs is not None:
             obs.steps.inc()
             obs.app_bytes.inc(app_bytes * self.device.scale)
+        budget = self._poll_budget
+        if budget is not None and all(c.block_erases < t for c, t in budget):
+            # Provably no pool crossed a level since the last real poll:
+            # skip the indicator read and reuse the cached reading (its
+            # levels are by construction still current).
+            self.steps_completed += 1
+            self._maybe_checkpoint(crossed=False)
+            return self._last_indicators
         indicators = self.device.wear_indicators()
+        before = len(self.result.increments)
         self._record_increments(indicators)
+        self._last_indicators = indicators
+        if self.fast_poll:
+            self._poll_budget = [
+                (counters, counters.block_erases + min_more)
+                for counters, min_more in self.device.wear_poll_hints().values()
+                if min_more != float("inf")
+            ]
+        self.steps_completed += 1
+        self._maybe_checkpoint(crossed=len(self.result.increments) > before)
         return indicators
+
+    def _maybe_checkpoint(self, crossed: bool) -> None:
+        manager = self._ckpt_manager
+        if manager is None:
+            return
+        if crossed:
+            manager.save(self, self._ckpt_key, kind="crossing", extra_meta=self._ckpt_meta)
+        elif self._ckpt_interval and self.steps_completed % self._ckpt_interval == 0:
+            manager.save(self, self._ckpt_key, kind="interval", extra_meta=self._ckpt_meta)
+
+    def invalidate_poll_budget(self) -> None:
+        """Force the next step to re-read the wear indicators (called
+        after a snapshot restore or any out-of-band wear change)."""
+        self._poll_budget = None
+        self._last_indicators = None
 
     def _prime_markers(self) -> None:
         for mem_type, indicator in self.device.wear_indicators().items():

@@ -157,6 +157,24 @@ class BlockDevice:
             return self.ftl.wear_indicators()
         return {"A": self.ftl.wear_indicator()}
 
+    def wear_poll_hints(self):
+        """Per-memory-type ``(counters, min_further_erases)`` pairs.
+
+        ``counters`` is the live :class:`~repro.flash.package.PackageCounters`
+        of that pool (its ``block_erases`` field advances as the pool
+        erases) and ``min_further_erases`` is a conservative lower bound
+        on erases before that pool's indicator level can rise.  The
+        experiment loop uses the pair to skip provably-uneventful
+        ``wear_indicators()`` polls (DESIGN.md §10).
+        """
+        ftl = self.ftl
+        if isinstance(ftl, HybridFTL):
+            return {
+                "A": (ftl.pool_a.package.counters, ftl.pool_a.erases_until_next_level()),
+                "B": (ftl.pool_b.package.counters, ftl.pool_b.erases_until_next_level()),
+            }
+        return {"A": (ftl.package.counters, ftl.erases_until_next_level())}
+
     def health_report(self) -> HealthReport:
         indicators = self.wear_indicators()
         worst_pre_eol = max(

@@ -211,8 +211,11 @@ class FlashPackage:
                 self._pe_max = top
         newly_bad = effective >= self._cycle_limit[block_ids]
         if newly_bad.any():
+            # block_ids never repeat within a batch (the FTL erases each
+            # victim once), so the retired count advances by the batch's
+            # newly-bad count — no O(num_blocks) rescan.
             self._bad[block_ids[newly_bad]] = True
-            self._num_bad = int(self._bad.sum())
+            self._num_bad += int(newly_bad.sum())
             if self._obs is not None:
                 self._obs.bad_blocks.inc(int(newly_bad.sum()))
         return newly_bad
@@ -315,5 +318,10 @@ class FlashPackage:
         """Per-codeword uncorrectable probability for a block's pages."""
         if self._obs is not None:
             self._obs.ecc_tail_evals.inc()
-        rber = float(self.rber(np.array([block_id]), retention_days)[0])
+        # Scalar path: BerModel.rber returns a float for scalar inputs,
+        # so one cached-array element read replaces the single-element
+        # array allocation + fancy-index round trip.
+        rber = self.ber_model.rber(
+            float(self.pe_counts[block_id]), self.cell_spec.endurance, retention_days
+        )
         return self.ecc.codeword_failure_probability(rber)

@@ -27,6 +27,7 @@ per-call recomputation (see DESIGN.md "Performance"):
 from __future__ import annotations
 
 import enum
+import math
 from typing import List, Optional
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.flash.package import FlashPackage
 from repro.obs import FtlInstruments
 from repro.ftl.gc import GreedyVictimPolicy, VictimQueue
 from repro.ftl.stats import FtlStats
-from repro.ftl.wear_indicator import PreEolState, WearIndicator, wear_level
+from repro.ftl.wear_indicator import MAX_LEVEL, PreEolState, WearIndicator, wear_level
 from repro.ftl.wear_leveling import (
     WearLevelingConfig,
     pick_cold_victim,
@@ -332,6 +333,29 @@ class PageMappedFTL:
             life_used=used,
             pre_eol=PreEolState.from_spare_consumption(self.spare_consumption()),
         )
+
+    def erases_until_next_level(self) -> float:
+        """Conservative lower bound on further block erases before
+        :meth:`wear_indicator`'s level can rise (``inf`` at the cap).
+
+        Every erase adds exactly one effective P/E cycle to one block,
+        so the mean wear fraction climbs by at most ``1 / (num_blocks *
+        endurance)`` per erase; healing (idle/anneal) only ever *lowers*
+        it.  The bound therefore stays valid however the erases are
+        distributed, and the experiment loop may skip indicator polling
+        until this many erases have landed (DESIGN.md §10).  A small
+        slack absorbs float accumulation error in the mean.
+        """
+        pkg = self.package
+        used = pkg.mean_wear_fraction()
+        level = wear_level(used)
+        if level >= MAX_LEVEL:
+            return math.inf
+        # wear_level(u) rises at the next multiple of 0.1 (or at 1.0,
+        # which level 10 already targets since 10/10 == 1.0).
+        need_fraction = level / 10.0 - used
+        need = need_fraction * pkg.cell_spec.endurance * pkg.num_blocks
+        return max(0.0, need * (1.0 - 1e-9) - 2.0)
 
     def utilization(self) -> float:
         """Fraction of logical units currently mapped."""

@@ -1,0 +1,35 @@
+"""Deterministic wear-state checkpointing (DESIGN.md §10).
+
+``repro.state`` serializes a wear-out experiment's complete mutable
+state — flash package wear, FTL mapping/GC/WL state, filesystem
+allocator and page cache, workload RNGs — to compressed ``.npz``
+snapshots and restores them bit-identically into freshly built twins.
+:class:`CheckpointManager` content-addresses the snapshots by warm-start
+key so campaigns can resume killed points mid-run and warm-start grid
+points that share a device-warmup prefix.
+"""
+
+from repro.state.checkpoint import CheckpointManager, warm_start_key
+from repro.state.snapshot import (
+    STATE_FORMAT_VERSION,
+    CheckpointError,
+    inspect_checkpoint,
+    load_meta,
+    load_state,
+    restore_experiment,
+    save_state,
+    snapshot_experiment,
+)
+
+__all__ = [
+    "STATE_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointManager",
+    "inspect_checkpoint",
+    "load_meta",
+    "load_state",
+    "restore_experiment",
+    "save_state",
+    "snapshot_experiment",
+    "warm_start_key",
+]

@@ -96,6 +96,37 @@ class TestCampaign:
         with pytest.raises(SystemExit):
             main(["campaign", "fig99"])
 
+    def test_checkpoint_dir_populates_cache_and_keeps_fingerprint(self, capsys, tmp_path):
+        cold_dir = str(tmp_path / "cold")
+        assert main(["campaign", "smoke", "--store-dir", cold_dir, "--quiet"]) == 0
+        cold = capsys.readouterr().out
+
+        ck_dir = tmp_path / "checkpoints"
+        warm_dir = str(tmp_path / "warm")
+        assert main(["campaign", "smoke", "--store-dir", warm_dir, "--quiet",
+                     "--checkpoint-dir", str(ck_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert list(ck_dir.glob("*.npz"))
+        assert cold.split("fingerprint ")[1][:16] == warm.split("fingerprint ")[1][:16]
+
+
+class TestState:
+    def test_inspect_renders_meta_and_arrays(self, capsys, tmp_path):
+        ck_dir = tmp_path / "checkpoints"
+        main(["campaign", "smoke", "--store-dir", str(tmp_path / "stores"),
+              "--quiet", "--checkpoint-dir", str(ck_dir)])
+        capsys.readouterr()
+        checkpoint = sorted(ck_dir.glob("*.npz"))[0]
+        assert main(["state", "inspect", str(checkpoint)]) == 0
+        out = capsys.readouterr().out
+        assert "steps_completed" in out
+        assert "device/ftl/pool/package/pe_permanent" in out
+        assert "float64" in out
+
+    def test_inspect_missing_file_fails(self, capsys, tmp_path):
+        assert main(["state", "inspect", str(tmp_path / "nope.npz")]) == 1
+        assert "inspect failed" in capsys.readouterr().err
+
 
 class TestFigures:
     def test_empty_store_skips_and_fails(self, capsys, tmp_path):

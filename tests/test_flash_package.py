@@ -184,6 +184,19 @@ class TestWearCache:
         assert package.pe_counts[5] == pytest.approx(7.0)
         assert package.max_pe_count == pytest.approx(7.0)
 
+    def test_num_bad_blocks_batch_retirement_counts_every_block(self):
+        """erase_blocks maintains the bad count incrementally; a batch
+        retiring several blocks at once must add all of them."""
+        geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
+        spec = CELL_SPECS[CellType.MLC].derated(3)
+        pkg = FlashPackage(geom, cell_spec=spec, endurance_sigma=0.0, seed=1)
+        batch = np.array([0, 2, 5])
+        while pkg.num_bad_blocks < 3:
+            good = ~pkg.bad_blocks_view[batch]
+            pkg.erase_blocks(batch[good])
+            assert pkg.num_bad_blocks == int(pkg.bad_blocks.sum())
+        assert bool(pkg.bad_blocks_view[batch].all())
+
     def test_num_bad_blocks_tracks_both_erase_paths(self):
         geom = FlashGeometry(page_size=4 * KIB, pages_per_block=16, num_blocks=8)
         spec = CELL_SPECS[CellType.MLC].derated(3)
@@ -218,3 +231,18 @@ class TestReliabilityQueries:
 
     def test_uncorrectable_probability_fresh_is_zero(self, package):
         assert package.uncorrectable_probability(0) < 1e-20
+
+    def test_uncorrectable_probability_scalar_path_matches_array_path(self, package):
+        """The scalar BerModel.rber fast path must agree bit-for-bit
+        with the array path it replaced."""
+        for _ in range(1500):
+            package.erase_blocks(np.array([0]))
+        for retention in (0.0, 30.0):
+            got = package.uncorrectable_probability(0, retention_days=retention)
+            rber_arr = package.ber_model.rber(
+                package.pe_counts[np.array([0])],
+                package.cell_spec.endurance,
+                retention,
+            )
+            want = package.ecc.codeword_failure_probability(float(rber_arr[0]))
+            assert got == want

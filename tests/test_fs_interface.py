@@ -115,6 +115,51 @@ class TestBufferedWrites:
         assert total > 0  # the threshold flush happened
         assert fs.device.host_bytes_written > 0
 
+    def test_dirty_threshold_counts_across_files(self, fs):
+        """The O(1) running dirty counter must match the per-file-scan
+        semantics it replaced: the threshold is global across files."""
+        fs.dirty_flush_pages = 8
+        a = fs.create_file("a", 256 * KIB)
+        b = fs.create_file("b", 256 * KIB)
+        for i in range(4):
+            assert fs.write(a, i * 4 * KIB, 4 * KIB, sync=False) == 0.0
+        for i in range(3):
+            assert fs.write(b, i * 4 * KIB, 4 * KIB, sync=False) == 0.0
+        # 8th distinct dirty page crosses the threshold: global flush.
+        assert fs.write(b, 3 * 4 * KIB, 4 * KIB, sync=False) > 0.0
+        assert fs.device.host_bytes_written >= 32 * KIB
+        assert sum(len(s) for s in fs._dirty.values()) == 0
+
+    def test_rewriting_dirty_page_does_not_inflate_counter(self, fs):
+        fs.dirty_flush_pages = 4
+        f = fs.create_file("a", 256 * KIB)
+        for _ in range(16):
+            # Same page over and over: one dirty page, never a flush.
+            assert fs.write(f, 0, 4 * KIB, sync=False) == 0.0
+        assert fs.device.host_bytes_written == 0
+
+    def test_delete_file_releases_dirty_pages(self, fs):
+        fs.dirty_flush_pages = 8
+        a = fs.create_file("a", 256 * KIB)
+        b = fs.create_file("b", 256 * KIB)
+        for i in range(6):
+            fs.write(a, i * 4 * KIB, 4 * KIB, sync=False)
+        fs.delete_file("a")
+        # a's 6 dirty pages are gone; b can dirty 7 without flushing.
+        for i in range(7):
+            assert fs.write(b, i * 4 * KIB, 4 * KIB, sync=False) == 0.0
+
+    def test_multi_page_requests_dirty_every_spanned_page(self, fs):
+        fs.dirty_flush_pages = 9
+        f = fs.create_file("a", 256 * KIB)
+        # Two 12 KiB writes: 3 pages each, the second one unaligned so
+        # it straddles 4 pages (vectorized range expansion).
+        assert fs.write(f, 0, 12 * KIB, sync=False) == 0.0
+        assert fs.write(f, 34 * KIB, 12 * KIB, sync=False) == 0.0
+        assert fs._dirty["a"] == {0, 1, 2, 8, 9, 10, 11}
+        # Third write reaches 9 distinct dirty pages: flush.
+        assert fs.write(f, 60 * KIB, 8 * KIB, sync=False) > 0.0
+
     def test_sync_all_covers_all_files(self, fs):
         a = fs.create_file("a", 64 * KIB)
         b = fs.create_file("b", 64 * KIB)

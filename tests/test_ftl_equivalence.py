@@ -114,6 +114,98 @@ class TestSeedEquivalence:
         )
 
 
+class TestCheckpointRoundTripDigests:
+    """Snapshot/restore must preserve the golden end states: capturing
+    a scenario's FTL into a wear-state snapshot and restoring it into a
+    freshly built twin reproduces the pinned digest — and continuing
+    the workload from the restore point stays on the trajectory."""
+
+    @pytest.mark.parametrize("name", ["rand-u1", "dup-u8", "seq-cb-u8"])
+    def test_restored_twin_matches_golden_digest(self, name):
+        from repro.state.snapshot import (
+            capture_ftl,
+            capture_package,
+            restore_ftl,
+            restore_package,
+        )
+
+        ftl = run_scenario(**SCENARIOS[name])
+        pkg_state = capture_package(ftl.package)
+        ftl_state = capture_ftl(ftl)
+
+        twin = _fresh_twin_for(name)
+        restore_package(twin.package, pkg_state)
+        restore_ftl(twin, ftl_state)
+        assert ftl_fingerprint(twin) == SEED_FINGERPRINTS[name]
+
+    def test_mid_scenario_restore_continues_on_trajectory(self):
+        from repro.state.snapshot import (
+            capture_ftl,
+            capture_package,
+            restore_ftl,
+            restore_package,
+        )
+
+        # Stop the rand-u1 scenario halfway, snapshot, restore into a
+        # twin, replay the second half on BOTH, and require the golden
+        # end digest from each — the snapshot carries everything the
+        # remaining steps depend on (RNG states included).
+        source = run_scenario(unit_pages=1, pattern="rand")  # golden end state
+        assert ftl_fingerprint(source) == SEED_FINGERPRINTS["rand-u1"]
+
+        halted = _run_scenario_halves(first_half_only=True)
+        twin = _fresh_twin_for("rand-u1")
+        restore_package(twin.package, capture_package(halted.package))
+        restore_ftl(twin, capture_ftl(halted))
+        finished = _run_scenario_halves(first_half_only=False, resume_ftl=twin)
+        assert ftl_fingerprint(finished) == SEED_FINGERPRINTS["rand-u1"]
+
+
+def _fresh_twin_for(name: str) -> PageMappedFTL:
+    """A just-built FTL with the same spec as run_scenario's (no
+    workload applied) — the restore target."""
+    opts = SCENARIOS[name]
+    geom = FlashGeometry(page_size=4 * KIB, pages_per_block=32, num_blocks=64)
+    pkg = FlashPackage(
+        geom, cell_spec=CELL_SPECS[CellType.MLC].derated(opts.get("endurance", 500)),
+        endurance_sigma=0.05, seed=opts.get("seed", 7),
+    )
+    pattern = opts["pattern"]
+    policy = GreedyVictimPolicy() if pattern != "seq" else CostBenefitVictimPolicy()
+    return PageMappedFTL(
+        pkg,
+        logical_capacity_bytes=int(geom.capacity_bytes * 0.87),
+        mapping_unit_pages=opts["unit_pages"],
+        victim_policy=policy,
+        seed=opts.get("seed", 7),
+    )
+
+
+def _run_scenario_halves(first_half_only: bool, resume_ftl=None):
+    """run_scenario's rand-u1 workload split at step 20.  The host-side
+    RNG is replayed deterministically; the FTL either runs the first 20
+    steps fresh or resumes a restored twin for the last 20."""
+    ftl = _fresh_twin_for("rand-u1") if resume_ftl is None else resume_ftl
+    geom = ftl.geometry
+    rng = np.random.default_rng(7)
+    page = geom.page_size
+    pages_total = ftl.num_logical_units * ftl.unit_pages
+    for step in range(40):
+        lpns = rng.integers(0, pages_total, size=600, dtype=np.int64)
+        trim = int(rng.integers(0, pages_total // 2)) if step % 7 == 3 else None
+        span = int(rng.integers(0, pages_total - 40)) if step % 5 == 2 else None
+        if first_half_only and step >= 20:
+            break
+        if not first_half_only and step < 20:
+            continue  # host RNG replayed; device work skipped
+        ftl.write_requests(lpns * page, page)
+        if trim is not None:
+            ftl.trim_pages(trim, 64)
+        if span is not None:
+            ftl.write_span(span, 37)
+    return ftl
+
+
 class _ReferenceOnlyGreedy(GreedyVictimPolicy):
     """Greedy policy stripped of its fast paths: forces the FTL onto the
     array-based reference ``select`` every reclaim."""

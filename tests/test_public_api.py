@@ -45,6 +45,7 @@ class TestDocumentation:
             "repro.core",
             "repro.analysis",
             "repro.cli",
+            "repro.state",
         ],
     )
     def test_every_subpackage_has_a_docstring(self, module_name):
