@@ -4,9 +4,14 @@ Three aspects of the wear-state subsystem (DESIGN.md §10), each of
 which doubles as a bit-identity check:
 
 * ``experiment_loop`` — a single wear-out run to level 3 through the
-  full stack with the default increment-aware polling.  Canary for the
-  experiment-loop cost with checkpointing *disabled*: the machinery
-  must stay effectively free when unused.
+  full stack with the default increment-aware polling plus fused burst
+  execution (DESIGN.md §11).  Canary for the experiment-loop cost with
+  checkpointing *disabled*: the machinery must stay effectively free
+  when unused.
+* ``experiment_loop_scalar`` — the same run with ``step_batching``
+  off: the per-step reference path.  Must land on the same
+  fingerprint, and ``--check`` enforces the >= 3x burst-fusion
+  speedup of the batched loop over it.
 * ``checkpoint_roundtrip`` — snapshot -> compressed .npz -> load ->
   restore into a fresh twin, timed end to end.  Bounds the cost a
   campaign pays per checkpoint save/restore.
@@ -54,6 +59,10 @@ WARMGRID_FINGERPRINT = "5bd5ad028945b4bea0c507bc156c4478bc9fa83ecf6cab1776fb6f84
 
 WARMSTART_SPEEDUP = 3.0
 
+#: Required speedup of the fused batched loop over the per-step
+#: reference loop on the same experiment (ISSUE: burst fusion gate).
+BURST_SPEEDUP = 3.0
+
 #: Best elapsed seconds per case, for the speedup check after main().
 _BEST = {}
 
@@ -80,12 +89,22 @@ def _result_digest(experiment) -> str:
     ).hexdigest()
 
 
-def run_experiment_loop():
+def _run_loop(case_name, step_batching):
     experiment = _experiment()
+    experiment.step_batching = step_batching
     start = time.perf_counter()
     experiment.run(until_level=3)
     elapsed = time.perf_counter() - start
+    _BEST[case_name] = min(elapsed, _BEST.get(case_name, float("inf")))
     return elapsed, _result_digest(experiment)
+
+
+def run_experiment_loop():
+    return _run_loop("experiment_loop", step_batching=True)
+
+
+def run_experiment_loop_scalar():
+    return _run_loop("experiment_loop_scalar", step_batching=False)
 
 
 def run_checkpoint_roundtrip():
@@ -142,6 +161,7 @@ def run_grid_warm():
 
 CASES = [
     BenchCase("experiment_loop", run_experiment_loop, EXPERIMENT_FINGERPRINT),
+    BenchCase("experiment_loop_scalar", run_experiment_loop_scalar, EXPERIMENT_FINGERPRINT),
     BenchCase("checkpoint_roundtrip", run_checkpoint_roundtrip, ROUNDTRIP_FINGERPRINT),
     BenchCase("warmstart_grid_cold", run_grid_cold, WARMGRID_FINGERPRINT),
     BenchCase("warmstart_grid_warm", run_grid_warm, WARMGRID_FINGERPRINT),
@@ -149,16 +169,26 @@ CASES = [
 
 
 def _speedup_check(check: bool) -> int:
+    code = 0
+    scalar = _BEST.get("experiment_loop_scalar")
+    batched = _BEST.get("experiment_loop")
+    if scalar and batched:
+        speedup = scalar / batched
+        print(f"burst-fusion speedup: {speedup:.2f}x "
+              f"(scalar {scalar:.2f}s, batched {batched:.2f}s)")
+        if check and speedup < BURST_SPEEDUP:
+            print(f"FAIL: burst-fusion speedup {speedup:.2f}x < {BURST_SPEEDUP}x")
+            code = 1
     cold = _BEST.get("warmstart_grid_cold")
     warm = _BEST.get("warmstart_grid_warm")
     if not cold or not warm:
-        return 0
+        return code
     speedup = cold / warm
     print(f"warm-start speedup: {speedup:.2f}x (cold {cold:.2f}s, warm {warm:.2f}s)")
     if check and speedup < WARMSTART_SPEEDUP:
         print(f"FAIL: warm-start speedup {speedup:.2f}x < {WARMSTART_SPEEDUP}x")
         return 1
-    return 0
+    return code
 
 
 if __name__ == "__main__":

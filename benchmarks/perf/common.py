@@ -16,15 +16,22 @@ Timings are compared against the committed baseline in
   ``REGRESSION_FACTOR`` x its baseline (or a fingerprint mismatches) —
   this is what CI's perf-smoke job runs;
 * ``--update`` rewrites the baseline's ``seconds`` for the cases that
-  were run (``seed_seconds``, the pre-optimization timing, is kept).
+  were run (``seed_seconds``, the pre-optimization timing, is kept);
+* ``--profile`` additionally runs each case once under cProfile and
+  writes a per-case hotspot table (top functions by cumulative time)
+  next to the baseline file.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import hashlib
+import io
 import json
 import pathlib
+import pstats
+import sys
 from dataclasses import dataclass
 from typing import Callable, Sequence, Tuple
 
@@ -77,6 +84,27 @@ def best_of(runner: Callable[[], Tuple[float, str]], repeats: int) -> Tuple[floa
     return best, fingerprint
 
 
+def profile_table(runner: Callable[[], Tuple[float, str]], top: int = 25) -> str:
+    """One profiled run of ``runner``; returns the top-``top`` hotspot
+    table sorted by cumulative time."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        runner()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def profile_output_path() -> pathlib.Path:
+    """Hotspot-table destination: named after the bench entry point,
+    next to the results baseline (BENCH_perf.json)."""
+    stem = pathlib.Path(sys.argv[0]).stem or "bench"
+    return BASELINE_PATH.parent / f"{stem}_profile.txt"
+
+
 def load_baseline() -> dict:
     if BASELINE_PATH.exists():
         return json.loads(BASELINE_PATH.read_text())
@@ -94,12 +122,19 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="write current timings into BENCH_perf.json")
     parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing runs")
+    parser.add_argument("--profile", action="store_true",
+                        help="write a cProfile hotspot table (top functions by "
+                             "cumulative time, one section per case) next to "
+                             "BENCH_perf.json")
     args = parser.parse_args(argv)
 
     baseline = load_baseline()
     failures = []
+    profile_sections = []
     for case in cases:
         elapsed, fingerprint = best_of(case.run, args.repeats)
+        if args.profile:
+            profile_sections.append(f"== {case.name} ==\n{profile_table(case.run)}")
         entry = baseline["cases"].setdefault(case.name, {})
         ref = entry.get("seconds")
         seed_ref = entry.get("seed_seconds")
@@ -122,6 +157,10 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
     if args.update:
         save_baseline(baseline)
         print(f"baseline updated: {BASELINE_PATH}")
+    if profile_sections:
+        path = profile_output_path()
+        path.write_text("\n".join(profile_sections))
+        print(f"hotspot table written: {path}")
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

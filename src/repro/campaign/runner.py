@@ -291,8 +291,15 @@ class CampaignRunner:
         """Run every pending point; returns the invocation's report.
 
         Args:
-            workers: Pool size; <=1 runs serially in-process (the
-                reference execution the parallel path must match).
+            workers: Requested pool size; <=1 runs serially in-process
+                (the reference execution the parallel path must match).
+                The pool is clamped to the pending-point count and the
+                machine's core count — fan-out beyond either only adds
+                fork/IPC overhead, never throughput — and a clamp down
+                to 1 skips the pool entirely.  Results are identical
+                for every worker count (DESIGN.md §8), so the clamp is
+                a pure scheduling decision; the report records the
+                effective size.
             fresh: Invalidate the store first instead of resuming.
             progress: Optional callback for per-point progress lines.
         """
@@ -303,17 +310,18 @@ class CampaignRunner:
 
         pending = self.pending_points()
         skipped = len(self.spec) - len(pending)
+        effective = max(1, min(workers, len(pending), os.cpu_count() or 1))
         recorder = SpanRecorder()
         with recorder.span("campaign"):
             if len(pending) == 0:
                 pass
-            elif workers == 1:
+            elif effective == 1:
                 for payload in pending:
                     record = run_point(payload)
                     self._record(record, progress)
             else:
                 ctx = multiprocessing.get_context(self.mp_context)
-                with ctx.Pool(processes=min(workers, len(pending))) as pool:
+                with ctx.Pool(processes=effective) as pool:
                     for record in pool.imap_unordered(run_point, pending, chunksize=1):
                         self._record(record, progress)
         wall = recorder.elapsed("campaign")
@@ -326,10 +334,10 @@ class CampaignRunner:
             total_points=len(self.spec),
             ran=len(pending),
             skipped=skipped,
-            workers=workers,
+            workers=effective,
             wall_s=wall,
             busy_s=busy,
-            utilization=worker_utilization(busy, workers, wall),
+            utilization=worker_utilization(busy, effective, wall),
         )
 
     def _record(self, record: Dict[str, Any], progress) -> None:

@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir is set (0 keeps only crossing snapshots; "
         "default: 2000)",
     )
+    camp.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and write a hotspot table (top functions "
+        "by cumulative time) next to the store; forces --workers 1 so the "
+        "profile covers the simulation code, not just pool dispatch",
+    )
 
     state = sub.add_parser(
         "state",
@@ -250,11 +256,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
     )
-    if args.metrics:
-        with metrics_enabled():
-            report = runner.run(workers=args.workers, fresh=args.fresh, progress=progress)
+    workers = 1 if args.profile else args.workers
+
+    def execute():
+        if args.metrics:
+            with metrics_enabled():
+                return runner.run(workers=workers, fresh=args.fresh, progress=progress)
+        return runner.run(workers=workers, fresh=args.fresh, progress=progress)
+
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = execute()
+        finally:
+            profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
+        profile_path = store.path.with_name(f"{args.name}_profile.txt")
+        profile_path.write_text(buffer.getvalue())
+        print(f"hotspot table written: {profile_path}")
     else:
-        report = runner.run(workers=args.workers, fresh=args.fresh, progress=progress)
+        report = execute()
     print(report.describe())
     print(f"store: {store.path} ({len(store)} points, fingerprint {store.fingerprint()[:16]})")
     return 0

@@ -22,6 +22,7 @@ from repro.errors import DeviceWornOut, OutOfSpaceError, ReadOnlyError, Uncorrec
 from repro.ftl.wear_indicator import WearIndicator
 from repro.obs import ExperimentInstruments, JsonlEmitter
 from repro.units import GIB
+from repro.workloads.batch import generic_step_batch
 
 
 class WearOutExperiment:
@@ -73,6 +74,19 @@ class WearOutExperiment:
         self.fast_poll = fast_poll and hasattr(device, "wear_poll_hints")
         self._last_indicators: Optional[Dict[str, WearIndicator]] = None
         self._poll_budget: Optional[list] = None
+        # Burst fusion (DESIGN.md §11): while the conservative erase
+        # budget proves no indicator can cross, many workload steps are
+        # executed as one fused batch.  ``step_batching=False`` restores
+        # the per-step loop; the fused path is only taken under
+        # ``fast_poll`` (the budget doubles as the fusion bound).
+        self.step_batching = True
+        self.max_batch_steps = 64
+        # Erases-per-step estimate from the last batch, used to size the
+        # next batch so it ends near the poll boundary (a pure
+        # heuristic: the FTL truncates the burst exactly at the budget
+        # regardless).
+        self._erase_rate = 0.0
+        self._batch_erases_base = 0
         # Completed workload steps; checkpoint identity (DESIGN.md §10)
         # and the periodic-save cadence both key off it.
         self.steps_completed = 0
@@ -114,10 +128,13 @@ class WearOutExperiment:
         Table 1's phase protocol does.
         """
         self._prime_markers()
-        for _ in range(max_steps):
-            indicators = self._step_once()
-            if indicators is None or self._any_at_level(until_level, indicators):
-                break
+        if self.fast_poll and self.step_batching and self._obs is None:
+            self._run_batched(until_level, max_steps)
+        else:
+            for _ in range(max_steps):
+                indicators = self._step_once()
+                if indicators is None or self._any_at_level(until_level, indicators):
+                    break
         self.result.total_host_bytes = self.device.host_bytes_written * self.device.scale
         if self._obs is not None:
             # Cumulative device-level volume; counted once per run().
@@ -142,6 +159,123 @@ class WearOutExperiment:
         return None
 
     # ------------------------------------------------------------------
+
+    def _run_batched(self, until_level: int, max_steps: int) -> None:
+        """Fused main loop (DESIGN.md §11).
+
+        While the erase budget proves no indicator can cross, up to the
+        whole remaining budget executes as one ``step_batch`` call; the
+        loop then polls, records increments, and checkpoints exactly as
+        the per-step loop would at the same ``steps_completed``.  Any
+        step the fused path cannot prove uneventful is replayed through
+        ``_step_once`` — the scalar reference path — so results are
+        bit-identical to ``step_batching=False``.
+        """
+        workload = self.workload
+        # Resolve step_batch on the CLASS, not the instance: delegation
+        # wrappers (__getattr__ forwarding to an inner workload) would
+        # otherwise hand back the inner fused path and silently skip
+        # whatever per-step behaviour the wrapper adds.  Such workloads
+        # fall back to the generic batcher, which goes through their
+        # own step().
+        if getattr(type(workload), "step_batch", None) is not None:
+            stepper = workload.step_batch
+        else:
+            stepper = lambda n, budget: generic_step_batch(workload, n, budget)
+        steps_done = 0
+        while steps_done < max_steps:
+            n = self._fusion_bound(until_level, max_steps - steps_done)
+            out = stepper(n, self._poll_budget) if n > 1 else None
+            if out is None:
+                # Scalar reference step: first-ever poll, budget spent,
+                # or a step the fused path refused (GC relocation, wear
+                # retirement, ... — see repro.ftl.burst).
+                indicators = self._step_once()
+                steps_done += 1
+                if indicators is None or self._any_at_level(until_level, indicators):
+                    return
+                continue
+            durations, byte_counts, bricked = out
+            m = len(durations)
+            budget = self._poll_budget
+            if m:
+                scale = self.device.scale
+                result = self.result
+                clock = self.clock
+                for i in range(m):
+                    duration = durations[i]
+                    clock.advance(duration)
+                    result.total_seconds += duration * scale
+                    result.total_app_bytes += byte_counts[i] * scale
+                self.steps_completed += m
+                steps_done += m
+                if budget:
+                    erases = max(c.block_erases for c, _ in budget)
+                    self._erase_rate = (erases - self._batch_erases_base) / m
+            if bricked:
+                self.result.bricked = True
+                return
+            if m == 0:
+                # Defensive: an empty, non-bricked batch would spin.
+                indicators = self._step_once()
+                steps_done += 1
+                if indicators is None or self._any_at_level(until_level, indicators):
+                    return
+                continue
+            if budget is not None and all(c.block_erases < t for c, t in budget):
+                # Budget not spent: every step in the batch was a
+                # skip-poll step in scalar terms.
+                self._maybe_checkpoint(crossed=False)
+                indicators = self._last_indicators
+            else:
+                indicators = self.device.wear_indicators()
+                before = len(self.result.increments)
+                self._record_increments(indicators)
+                self._last_indicators = indicators
+                self._poll_budget = [
+                    (counters, counters.block_erases + min_more)
+                    for counters, min_more in self.device.wear_poll_hints().values()
+                    if min_more != float("inf")
+                ]
+                self._maybe_checkpoint(crossed=len(self.result.increments) > before)
+            if indicators is not None and self._any_at_level(until_level, indicators):
+                return
+
+    def _fusion_bound(self, until_level: int, remaining: int) -> int:
+        """Steps provably safe to fuse before the next poll/checkpoint.
+
+        Returns 1 when the next step must go through the scalar
+        reference path: no budget yet (the step must poll), budget
+        already spent, or the cached reading already terminates the run
+        (a repeated ``run()`` at a lower level executes exactly one
+        step, as the scalar loop does).
+        """
+        budget = self._poll_budget
+        if budget is None:
+            return 1
+        cached = self._last_indicators
+        if cached is not None and self._any_at_level(until_level, cached):
+            return 1
+        n = self.max_batch_steps
+        if remaining < n:
+            n = remaining
+        if self._ckpt_manager is not None and self._ckpt_interval:
+            # Never fuse across an interval-checkpoint boundary: the
+            # snapshot must be taken at the same steps_completed as in
+            # a scalar run.
+            boundary = self._ckpt_interval - self.steps_completed % self._ckpt_interval
+            if boundary < n:
+                n = boundary
+        if budget:
+            self._batch_erases_base = max(c.block_erases for c, _ in budget)
+            headroom = min(t - c.block_erases for c, t in budget)
+            if headroom <= 0:
+                return 1
+            if self._erase_rate > 0.0:
+                estimate = int(headroom / self._erase_rate) + 1
+                if estimate < n:
+                    n = estimate
+        return n if n > 0 else 1
 
     def _step_once(self) -> Optional[Dict[str, "WearIndicator"]]:
         """One workload batch: advance time, accumulate volumes, record

@@ -15,7 +15,8 @@ import numpy as np
 from repro.devices.health import HealthReport
 from repro.devices.perf import PerformanceModel
 from repro.errors import DeviceWornOut, ReadOnlyError
-from repro.ftl.ftl import PageMappedFTL
+from repro.ftl.burst import BurstSegment
+from repro.ftl.ftl import PageMappedFTL, _ragged_ranges
 from repro.ftl.hybrid import HybridFTL
 
 AnyFtl = Union[PageMappedFTL, HybridFTL]
@@ -115,6 +116,168 @@ class BlockDevice:
         self.host_bytes_written += total_bytes
         self.busy_seconds += duration
         return duration
+
+    def write_burst(self, groups, budget):
+        """Fused write path covering many workload steps (DESIGN.md §11).
+
+        Args:
+            groups: One entry per workload step; each entry is a list of
+                ``(offsets, request_bytes)`` pairs, each equivalent to one
+                :meth:`write_many` call, in call order.
+            budget: The experiment's poll budget — ``(counters, threshold)``
+                pairs — or None for an unbounded burst.
+
+        Returns:
+            ``(m, seg_durations)`` where ``m`` is the number of whole steps
+            executed (``m <= len(groups)``; the burst stops at the step
+            whose erases exhaust the budget) and ``seg_durations`` lists the
+            simulated duration of every executed call, in call order.
+            Returns None when the fused path cannot run — the caller must
+            fall back to per-step :meth:`write_many` calls, which reproduce
+            the exact scalar behaviour (including raising the errors this
+            path refuses to model).
+        """
+        ftl = self.ftl
+        if type(ftl) is not PageMappedFTL or self.read_only:
+            return None
+        stop_erases = None
+        if budget is not None:
+            counters = ftl.package.counters
+            for ctr, threshold in budget:
+                if ctr is not counters:
+                    return None
+                remaining = threshold - ctr.block_erases
+                if stop_erases is None or remaining < stop_erases:
+                    stop_erases = remaining
+        unit_bytes = ftl.unit_bytes
+        unit_pages = ftl.unit_pages
+        page = self.page_size
+        limit = ftl.num_logical_units * unit_bytes
+        calls = []
+        buckets = {}
+        for group, group_calls in enumerate(groups):
+            for offsets, request_bytes in group_calls:
+                offsets = np.asarray(offsets, dtype=np.int64)
+                if offsets.size == 0 or request_bytes <= 0:
+                    return None
+                index = len(calls)
+                calls.append((group, offsets, request_bytes))
+                buckets.setdefault((int(offsets.size), request_bytes), []).append(index)
+        if not calls:
+            return None
+        # unit/page sizes are powers of two in every catalog device;
+        # shifts beat int64 division on the big offset matrices.
+        unit_shift = unit_bytes.bit_length() - 1 if unit_bytes & (unit_bytes - 1) == 0 else -1
+        page_shift = page.bit_length() - 1 if page & (page - 1) == 0 else -1
+        segments = [None] * len(calls)
+        for (count, request_bytes), indices in buckets.items():
+            vectorized = False
+            if len(indices) > 1:
+                stacked = np.stack([calls[i][1] for i in indices])
+                if int(stacked.min()) >= 0 and int(stacked.max()) + request_bytes <= limit:
+                    combinable = False
+                    if count > 1:
+                        # Cheap first-gap screen; only surviving rows pay
+                        # the full write-combining check.
+                        maybe = (stacked[:, 1] - stacked[:, 0]) == request_bytes
+                        if maybe.any():
+                            sub = stacked[maybe]
+                            combinable = bool(
+                                ((sub[:, 1:] - sub[:, :-1]) == request_bytes).all(axis=1).any()
+                            )
+                    if not combinable:
+                        last = stacked + (request_bytes - 1)
+                        if unit_shift >= 0:
+                            first_unit = stacked >> unit_shift
+                            last_unit = last >> unit_shift
+                        else:
+                            first_unit = stacked // unit_bytes
+                            last_unit = last // unit_bytes
+                        if bool((first_unit == last_unit).all()):
+                            # Common shape — aligned single-unit requests,
+                            # no write combining: one matrix pass builds
+                            # every call's segment.
+                            if page_shift >= 0:
+                                span_pages = (last >> page_shift) - (stacked >> page_shift)
+                            else:
+                                span_pages = last // page - stacked // page
+                            host_rows = span_pages.sum(axis=1) + count
+                            programs = count * unit_pages
+                            for row, i in enumerate(indices):
+                                host_pages = int(host_rows[row])
+                                segments[i] = BurstSegment(
+                                    unit_lpns=first_unit[row],
+                                    host_pages=host_pages,
+                                    rmw_pages=programs - host_pages,
+                                    group=calls[i][0],
+                                    total_bytes=count * request_bytes,
+                                    request_bytes=request_bytes,
+                                )
+                            vectorized = True
+            if not vectorized:
+                for i in indices:
+                    segment = self._burst_segment(
+                        calls[i], unit_bytes, unit_pages, page, limit
+                    )
+                    if segment is None:
+                        return None
+                    segments[i] = segment
+        m = ftl.write_requests_batch(segments, len(groups), stop_erases)
+        if m is None:
+            return None
+        seg_durations = []
+        write_duration = self.perf.write_duration
+        host_bytes = 0
+        busy = self.busy_seconds
+        for seg in segments:
+            if seg.group >= m:
+                break
+            media_pages = int(seg.unit_lpns.size) * unit_pages
+            host_pages = max(1, -(-seg.total_bytes // page))
+            duration = write_duration(
+                seg.total_bytes,
+                seg.request_bytes,
+                media_ratio=media_pages / host_pages,
+            )
+            host_bytes += seg.total_bytes
+            busy += duration
+            seg_durations.append(duration)
+        self.host_bytes_written += host_bytes
+        self.busy_seconds = busy
+        return m, seg_durations
+
+    @staticmethod
+    def _burst_segment(call, unit_bytes, unit_pages, page, limit):
+        """Scalar fallback segment builder — exact write_many math for
+        one call (write combining included)."""
+        group, offsets, request_bytes = call
+        count = int(offsets.size)
+        total_bytes = count * request_bytes
+        orig_request_bytes = request_bytes
+        if (
+            count > 1
+            and int(offsets[1]) - int(offsets[0]) == request_bytes
+            and (np.diff(offsets) == request_bytes).all()
+        ):
+            # Same write-combining rule as write_many.
+            offsets = offsets[:1]
+            request_bytes = total_bytes
+        if int(offsets.min()) < 0 or int(offsets.max()) + request_bytes > limit:
+            return None
+        first_unit = offsets // unit_bytes
+        last_unit = (offsets + request_bytes - 1) // unit_bytes
+        unit_lpns = _ragged_ranges(first_unit, last_unit)
+        first_page = offsets // page
+        last_page = (offsets + request_bytes - 1) // page
+        host_pages = int((last_page - first_page + 1).sum())
+        return BurstSegment(
+            unit_lpns=unit_lpns,
+            host_pages=host_pages,
+            rmw_pages=int(unit_lpns.size) * unit_pages - host_pages,
+            group=group,
+            total_bytes=total_bytes,
+            request_bytes=orig_request_bytes,
+        )
 
     def read(self, offset: int, size: int) -> float:
         return self.read_many(np.array([offset], dtype=np.int64), size)

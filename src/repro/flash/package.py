@@ -255,6 +255,36 @@ class FlashPackage:
             return True
         return False
 
+    def apply_erase_burst(
+        self,
+        block_ids: np.ndarray,
+        permanent: np.ndarray,
+        recoverable: np.ndarray,
+        effective: np.ndarray,
+        num_erases: int,
+    ) -> None:
+        """Commit the final wear state of a fused write burst's erases.
+
+        The burst planner (:mod:`repro.ftl.burst`) guarantees the clean
+        path: observability disabled, no block crossed its cycle limit,
+        and the per-block values are the exact floats the scalar
+        :meth:`erase_block` sequence would have produced.  ``block_ids``
+        are the unique erased blocks carrying their final wear;
+        ``num_erases`` counts every erase (a block may be erased more
+        than once per burst).
+        """
+        self._pe_permanent[block_ids] = permanent
+        self._pe_recoverable[block_ids] = recoverable
+        self.counters.block_erases += num_erases
+        if self._pe_cache_valid:
+            self._pe_cache[block_ids] = effective
+        if self._pe_max_valid and effective.size:
+            # Per-block effective wear only rises across a burst, so the
+            # running max over final values equals the scalar running max.
+            top = float(effective.max())
+            if top > self._pe_max:
+                self._pe_max = top
+
     def set_permanent_wear(self, pe_counts) -> None:
         """Overwrite permanent per-block wear (scalar or per-block array).
 

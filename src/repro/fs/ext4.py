@@ -77,6 +77,42 @@ class Ext4Model(FileSystem):
         self.journal_bytes_written += count * self.page_size
         return self.device.write_many(slots * self.page_size, self.page_size)
 
+    def _burst_metadata_plan(self, data_pages_per_step):
+        journal_pages = self.journal_bytes // self.page_size
+        pages_since_commit = self._pages_since_commit
+        cursor = self._journal_cursor
+        bytes_written = 0
+        meta_calls = []
+        states = []
+        for data_pages in data_pages_per_step:
+            pages_since_commit += data_pages
+            commits = pages_since_commit // self.commit_interval_pages
+            if commits:
+                pages_since_commit %= self.commit_interval_pages
+                count = commits * self.commit_pages
+                slots = (cursor + np.arange(count, dtype=np.int64)) % journal_pages
+                cursor = int((cursor + count) % journal_pages)
+                bytes_written += count * self.page_size
+                meta_calls.append((slots * self.page_size, self.page_size))
+            else:
+                meta_calls.append(None)
+            states.append((pages_since_commit, cursor, bytes_written))
+        return meta_calls, states
+
+    def _burst_commit(self, states, steps_executed: int) -> None:
+        if steps_executed == 0:
+            return
+        pages_since_commit, cursor, bytes_written = states[steps_executed - 1]
+        self._pages_since_commit = pages_since_commit
+        self._journal_cursor = cursor
+        self.journal_bytes_written += bytes_written
+
+    def _burst_compose_duration(self, seg_durations) -> float:
+        duration = seg_durations[0]
+        if len(seg_durations) > 1:
+            duration += seg_durations[1]
+        return duration
+
     def fs_write_amplification(self) -> float:
         """Device bytes per application byte written through this FS."""
         if self.app_bytes_written == 0:

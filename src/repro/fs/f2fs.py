@@ -81,6 +81,44 @@ class F2fsModel(FileSystem):
         duration = self.device.write_many(slots * self.page_size, self.page_size)
         return duration / self.checkpoint_slowdown
 
+    def _burst_metadata_plan(self, data_pages_per_step):
+        area_pages = self.node_area_bytes // self.page_size
+        debt = self._node_debt
+        cursor = self._node_cursor
+        bytes_written = 0
+        meta_calls = []
+        states = []
+        for data_pages in data_pages_per_step:
+            debt += data_pages * self.node_pages_per_data_page
+            node_pages = int(debt)
+            if node_pages:
+                debt -= node_pages
+                slots = (cursor + np.arange(node_pages, dtype=np.int64)) % area_pages
+                cursor = int((cursor + node_pages) % area_pages)
+                bytes_written += node_pages * self.page_size
+                meta_calls.append((slots * self.page_size, self.page_size))
+            else:
+                meta_calls.append(None)
+            states.append((debt, cursor, bytes_written))
+        return meta_calls, states
+
+    def _burst_commit(self, states, steps_executed: int) -> None:
+        if steps_executed == 0:
+            return
+        debt, cursor, bytes_written = states[steps_executed - 1]
+        self._node_debt = debt
+        self._node_cursor = cursor
+        self.node_bytes_written += bytes_written
+
+    def _burst_compose_duration(self, seg_durations) -> float:
+        # Each device call's duration is divided by the slowdown factor
+        # separately, exactly as the scalar _flush_requests and
+        # _metadata_overhead do.
+        duration = seg_durations[0] / self.checkpoint_slowdown
+        if len(seg_durations) > 1:
+            duration += seg_durations[1] / self.checkpoint_slowdown
+        return duration
+
     def fs_write_amplification(self) -> float:
         """Device bytes per application byte written through this FS."""
         if self.app_bytes_written == 0:

@@ -186,6 +186,61 @@ class FileSystem:
         pages = np.asarray(file_page_indices, dtype=np.int64)
         return self.write_requests(file, pages * self.page_size, self.page_size, sync=sync)
 
+    def write_requests_burst(self, plans, request_bytes, budget):
+        """Fused synchronous write path over many workload steps.
+
+        Args:
+            plans: One ``(file, file_offsets)`` pair per step, each
+                equivalent to one ``write_requests(..., sync=True)`` call.
+            budget: Poll budget forwarded to the device burst path.
+
+        Returns:
+            ``(m, durations)`` — steps actually executed and their
+            per-step simulated durations — or None when the fused path
+            cannot run, in which case the caller must replay through
+            :meth:`write_requests` (which raises the proper errors for
+            any invalid request this path refused).
+        """
+        if request_bytes <= 0 or not plans:
+            return None
+        pages_per_request = -(-request_bytes // self.page_size)
+        rows = []
+        for file, file_offsets in plans:
+            offsets = np.asarray(file_offsets, dtype=np.int64)
+            if offsets.size == 0:
+                return None
+            if offsets.min() < 0 or int(offsets.max()) + request_bytes > file.size:
+                return None
+            rows.append((file, offsets))
+        meta = self._burst_metadata_plan(
+            [int(offsets.size) * pages_per_request for _, offsets in rows]
+        )
+        if meta is None:
+            return None
+        meta_calls, states = meta
+        groups = []
+        for (file, offsets), meta_call in zip(rows, meta_calls):
+            calls = [(file.extent_start + offsets, request_bytes)]
+            if meta_call is not None:
+                calls.append(meta_call)
+            groups.append(calls)
+        out = self.device.write_burst(groups, budget)
+        if out is None:
+            return None
+        m, seg_durations = out
+        for _, offsets in rows[:m]:
+            self.app_bytes_written += int(offsets.size) * request_bytes
+        self._burst_commit(states, m)
+        durations = []
+        cursor = 0
+        for step in range(m):
+            width = len(groups[step])
+            durations.append(
+                self._burst_compose_duration(seg_durations[cursor : cursor + width])
+            )
+            cursor += width
+        return m, durations
+
     def read(self, file: File, offset: int, size: int) -> float:
         if offset + size > file.size:
             raise ConfigurationError("read beyond end of file")
@@ -225,6 +280,29 @@ class FileSystem:
         raise NotImplementedError
 
     def _metadata_overhead(self, file: File, data_pages: int) -> float:
+        raise NotImplementedError
+
+    def _burst_metadata_plan(self, data_pages_per_step):
+        """Precompute metadata writes for a burst of sync steps.
+
+        Given the data pages flushed by each step, return
+        ``(meta_calls, states)`` where ``meta_calls[i]`` is the step's
+        metadata ``(offsets, request_bytes)`` device call (or None when
+        the step commits no metadata) and ``states[i]`` is the opaque
+        cursor state reached after step ``i`` — consumed by
+        :meth:`_burst_commit` for the executed prefix.  The default
+        returns None: filesystems without a burst plan fall back to the
+        scalar path.
+        """
+        return None
+
+    def _burst_commit(self, states, steps_executed: int) -> None:
+        """Apply the metadata cursor state after a truncated burst."""
+        raise NotImplementedError
+
+    def _burst_compose_duration(self, seg_durations) -> float:
+        """Combine one step's device call durations exactly as the
+        scalar ``_sync_out`` arithmetic would."""
         raise NotImplementedError
 
     def fs_write_amplification(self) -> float:

@@ -1,0 +1,497 @@
+"""Fused burst-step execution (DESIGN.md §11).
+
+One call plans — and, when provably uneventful, applies — many host
+write calls' worth of FTL work as whole-array numpy kernels, instead of
+one Python dispatch chain per workload step.
+
+The model is *plan-then-apply*: a read-only planning pass mirrors the
+scalar write path (span placement, GC victim selection, dynamic
+wear-leveling allocation, erase wear arithmetic) over cheap Python
+scalars, proving that the burst stays on the "clean" path — greedy GC
+only ever selects fully-invalid victims, no block is retired, no static
+wear-leveling migration triggers, no relocation runs.  Only then is the
+aggregate effect committed in a handful of vectorized scatters.  Any
+event the plan cannot reproduce bit-for-bit makes it *bail with nothing
+mutated* (return ``None``), and the caller re-executes the same writes
+through the ordinary scalar path — which therefore remains the
+reference semantics, exceptions included.
+
+Bit identity with the scalar path is the contract: every mirrored float
+uses the same IEEE-754 operations on the same values, victim order is
+proven equal to the scalar argmin (with a conservative bail when two
+scores could round together), and the queue/min-hint end state follows
+the scalar update rules exactly (tests/test_ftl_equivalence.py and
+tests/test_burst_batching.py hold the line).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ftl.gc import GreedyVictimPolicy
+
+#: Sentinel "no next occurrence" position; beyond any real stream index.
+_NEVER = 1 << 62
+
+#: Relative effective-P/E gap under which two GC tie-break scores could
+#: round to the same float; the planner refuses to order such victims.
+_SCORE_GUARD = 1e-12
+
+
+@dataclass
+class BurstSegment:
+    """One device-level write call inside a burst plan.
+
+    ``unit_lpns`` is the call's mapping-unit stream (duplicates allowed,
+    in program order) — exactly what the scalar path would pass to
+    ``_write_units``.  ``host_pages``/``rmw_pages`` carry the page
+    accounting the scalar ``write_requests`` would record, and
+    ``total_bytes``/``request_bytes`` feed the device-level duration
+    model.  ``group`` ties the call to its workload step, so the burst
+    can be truncated at step granularity.
+    """
+
+    unit_lpns: np.ndarray
+    host_pages: int
+    rmw_pages: int
+    group: int
+    total_bytes: int
+    request_bytes: int
+
+
+def execute_write_burst(
+    ftl,
+    segments: Sequence[BurstSegment],
+    num_groups: int,
+    stop_erases: Optional[int],
+) -> Optional[int]:
+    """Plan and apply a burst of host writes on a :class:`PageMappedFTL`.
+
+    Returns the number of whole groups executed (truncation happens only
+    at group boundaries, where the caller's poll budget expires), or
+    ``None`` — with the FTL untouched — when the burst is ineligible or
+    the plan hit an event only the scalar path can reproduce.
+    """
+    if not segments or num_groups <= 0:
+        return None
+    if ftl.read_only or ftl._in_reclaim or ftl._obs is not None:
+        return None
+    pkg = ftl.package
+    if pkg._obs is not None or pkg._num_bad:
+        return None
+    if type(ftl._victim_policy) is not GreedyVictimPolicy:
+        return None
+
+    upb = ftl.units_per_block
+    n_blocks = ftl._num_blocks
+    low = ftl.gc_low_water
+    high = ftl.gc_high_water
+    cfg = ftl.wl_config
+
+    # Validate the lazy wear caches once, exactly as the scalar reclaim
+    # path does on entry; the mirrors below read the same values.
+    pe0 = pkg.pe_counts
+    pkg.max_pe_count
+
+    parts = [s.unit_lpns for s in segments]
+    U = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    L = int(U.size)
+    if L == 0:
+        return None
+    if int(U.min()) < 0 or int(U.max()) >= ftl.num_logical_units:
+        return None  # out of range: the scalar path raises properly
+    if ftl.num_logical_units >= 1 << 32:
+        return None  # packed sort codes need LPN < 2**32
+
+    # ------------------------------------------------------------------
+    # Stream analysis: next-occurrence links and pre-burst mappings
+    # ------------------------------------------------------------------
+    # Next-occurrence links via one value sort of packed (LPN, position)
+    # codes: sorting groups positions by LPN in stream order, and a
+    # plain np.sort beats argsort (no index permutation pass).  When LPN
+    # and position bits fit 32 together — small devices, the common
+    # case — the radix sort runs on uint32, half the byte passes.
+    pos_bits = max(1, (L - 1).bit_length())
+    if ftl.num_logical_units <= 1 << (32 - pos_bits):
+        code = np.sort(
+            (U.astype(np.uint32) << pos_bits) | np.arange(L, dtype=np.uint32)
+        )
+        order = code & np.uint32((1 << pos_bits) - 1)
+        grp = code >> pos_bits
+    else:
+        code = np.sort((U << 31) | np.arange(L, dtype=np.int64))
+        order = code & ((1 << 31) - 1)
+        grp = code >> 31
+    nxt = np.full(L, _NEVER, dtype=np.int64)
+    same = grp[:-1] == grp[1:]
+    succ = order[1:][same]
+    nxt[order[:-1][same]] = succ
+    isfirst = np.ones(L, dtype=bool)
+    isfirst[succ] = False
+
+    first_pos = np.nonzero(isfirst)[0]
+    old_all = ftl._l2p[U[first_pos]]
+    hit = old_all >= 0
+    old_ppu = old_all[hit]
+    old_pos = first_pos[hit]
+    old_blk = old_ppu // upb
+
+    queue = ftl._gc_queue
+    cof0 = queue._count_of
+    tracked0 = cof0 >= 0
+    hint0 = queue._min_hint
+    vc0 = ftl._valid_count
+    active0 = ftl._active_block
+    a0 = ftl._active_offset
+    b0_pre = active0 is not None
+
+    # Exhaust events: a pre-existing block whose entire current valid
+    # set is overwritten in-burst becomes a zero-valid GC candidate at
+    # (last overwrite position + 1).  Positions past the eventual cut
+    # simply never fire.
+    exhaust_pos = {}
+    if old_blk.size:
+        bo = np.argsort(old_blk.astype(np.uint32), kind="stable")
+        ob = old_blk[bo]
+        op = old_pos[bo]
+        bounds = np.nonzero(ob[:-1] != ob[1:])[0] + 1
+        starts_u = np.concatenate([np.zeros(1, dtype=np.int64), bounds])
+        ends_u = np.append(bounds, ob.size)
+        blocks_u = ob[starts_u]
+        counts_u = ends_u - starts_u
+        ok = tracked0[blocks_u]
+        if b0_pre:
+            ok = ok | (blocks_u == active0)
+        if not ok.all():
+            return None  # valid data outside candidates + active: bail
+        full = counts_u == vc0[blocks_u]
+        # op is increasing within each block's run (old_pos is sorted and
+        # the block sort is stable), so the run's last entry is the max.
+        for b, last in zip(blocks_u[full].tolist(), op[ends_u[full] - 1].tolist()):
+            exhaust_pos[b] = int(last) + 1
+
+    # ------------------------------------------------------------------
+    # Extent geometry: block-fill boundaries are fixed by the initial
+    # active offset alone, independent of which block serves each extent.
+    # ------------------------------------------------------------------
+    r0 = upb - a0 if b0_pre else upb
+    if r0 >= L:
+        ext_starts = np.zeros(1, dtype=np.int64)
+    else:
+        ext_starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.arange(r0, L, upb, dtype=np.int64)]
+        )
+    ext_ends = np.append(ext_starts[1:], L)
+    num_ext = int(ext_starts.size)
+    # Per-extent max next-occurrence: the extent's block goes zero-valid
+    # at ext_t + 1 (if that ever happens inside the burst).
+    ext_t = np.maximum.reduceat(nxt, ext_starts)
+
+    if b0_pre and vc0[active0] > 0:
+        # The initial active block only empties once its pre-existing
+        # valid units are exhausted too; fold that into its close event.
+        b0_extra = exhaust_pos.pop(active0, _NEVER)
+    else:
+        b0_extra = 0
+        if b0_pre:
+            exhaust_pos.pop(active0, None)
+
+    # ------------------------------------------------------------------
+    # Mirrors: Python-scalar copies of every structure the plan mutates.
+    # Float arithmetic on list elements is bit-identical to the numpy
+    # float64 scalar ops of the real path.
+    # ------------------------------------------------------------------
+    perm_l = pkg._pe_permanent.tolist()
+    reco_l = pkg._pe_recoverable.tolist()
+    eff_l = pe0.tolist()
+    limit_l = pkg._cycle_limit.tolist()
+    frac = pkg.healing.recoverable_fraction
+    one_minus = 1.0 - frac
+    free = list(ftl._free_blocks)
+    dynamic = cfg.dynamic
+    static_enabled = cfg.static_enabled
+    wl_interval = cfg.static_check_interval
+    wl_threshold = cfg.static_delta_threshold
+    wl_ctr = ftl._erases_since_wl_check
+
+    pending: List = [(ev, b) for b, ev in exhaust_pos.items()]
+    heapq.heapify(pending)
+    heap: List = [(eff_l[b], b) for b in np.nonzero(cof0 == 0)[0].tolist()]
+    heapq.heapify(heap)
+
+    victims: List[int] = []
+    n_erased = 0
+    alive = {}  # block -> extent ordinal of its latest in-burst extent
+    closed_in_burst: set = set()
+
+    # ------------------------------------------------------------------
+    # The walk: mirror _write_units/_place_span over stream positions,
+    # group by group, truncating when the caller's erase budget expires.
+    # The GC mirror (plan_reclaim: clean-path victim selection + erase
+    # wear arithmetic) and the free-block pull (pop_free: FIFO, or the
+    # least-worn scan under dynamic WL, strict-< first-of-ties like
+    # pick_free_block) are inlined — this loop runs once per block fill
+    # and is the simulator's true hot path.
+    # ------------------------------------------------------------------
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    free_append = free.append
+    free_remove = free.remove
+    victims_append = victims.append
+    closed_add = closed_in_burst.add
+    closed_discard = closed_in_burst.discard
+    alive_pop = alive.pop
+    active = active0
+    aoff = a0
+    if b0_pre:
+        alive[active0] = 0
+        next_ext = 1
+    else:
+        next_ext = 0
+    seg_lens = [int(s.unit_lpns.size) for s in segments]
+    ext_tl = ext_t.tolist()
+    n_segs = len(segments)
+    pos = 0
+    seg_i = 0
+    m = 0
+    for group in range(num_groups):
+        while seg_i < n_segs and segments[seg_i].group == group:
+            s_end = pos + seg_lens[seg_i]
+            idx = pos
+            while idx < s_end:
+                if active is None:
+                    nf = len(free)
+                    if nf <= low:
+                        # plan_reclaim(idx) — see module docstring for
+                        # the bail conditions (every `return None` below
+                        # is a dirty event the scalar path must replay).
+                        while pending and pending[0][0] <= idx:
+                            b = heappop(pending)[1]
+                            heappush(heap, (eff_l[b], b))
+                        scan_eff = None
+                        scan_g = None
+                        while nf < high:
+                            if not heap:
+                                # Scalar would pick a valid victim
+                                # (relocation) or stall.
+                                return None
+                            eff_v, v = heappop(heap)
+                            if heap:
+                                # Victim order equals the scalar argmin
+                                # iff no remaining candidate's score can
+                                # round into v's.  Equal effective P/E
+                                # gives equal scores (heap id-order ==
+                                # argmin index order); a strictly larger
+                                # eff within _SCORE_GUARD could collide
+                                # after the float divide — bail.
+                                gap = heap[0][0]
+                                if gap == eff_v:
+                                    if scan_eff != eff_v:
+                                        scan_g = None
+                                        for e_, _b in heap:
+                                            if e_ != eff_v and (scan_g is None or e_ < scan_g):
+                                                scan_g = e_
+                                        scan_eff = eff_v
+                                    gap = scan_g
+                                if gap is not None and gap - eff_v <= (
+                                    gap if gap > 1.0 else 1.0
+                                ) * _SCORE_GUARD:
+                                    return None
+                            p_ = perm_l[v] + one_minus
+                            r_ = reco_l[v] + frac
+                            e_ = p_ + r_
+                            if e_ >= limit_l[v]:
+                                return None  # block would be retired
+                            perm_l[v] = p_
+                            reco_l[v] = r_
+                            eff_l[v] = e_
+                            free_append(v)
+                            nf += 1
+                            alive_pop(v, None)
+                            closed_discard(v)
+                            victims_append(v)
+                            n_erased += 1
+                            wl_ctr += 1
+                        if static_enabled and wl_ctr >= wl_interval:
+                            wl_ctr = 0
+                            if max(eff_l) - min(eff_l) > wl_threshold:
+                                return None  # static WL would migrate
+                    # pop_free
+                    if nf == 0:
+                        return None  # OutOfSpaceError territory: bail
+                    if not dynamic or nf == 1:
+                        active = free.pop(0)
+                    else:
+                        active = free[0]
+                        best_pe = eff_l[active]
+                        for blk in free:
+                            v_ = eff_l[blk]
+                            if v_ < best_pe:
+                                active = blk
+                                best_pe = v_
+                        free_remove(active)
+                    aoff = 0
+                    alive[active] = next_ext
+                    next_ext += 1
+                safe = len(free) - low
+                if safe < 0:
+                    safe = 0
+                end = idx + (upb - aoff) + safe * upb
+                if end > s_end:
+                    end = s_end
+                p = idx
+                while True:
+                    room = upb - aoff
+                    take = end - p if end - p < room else room
+                    aoff += take
+                    p += take
+                    if aoff == upb:
+                        k = alive[active]
+                        ev = ext_tl[k] + 1
+                        if p > ev:
+                            ev = p
+                        if k == 0 and b0_pre and b0_extra > ev:
+                            ev = b0_extra
+                        if ev < _NEVER:
+                            heappush(pending, (ev, active))
+                        closed_add(active)
+                        active = None
+                        aoff = 0
+                        if p < end:
+                            # pop_free (mid-span: no reclaim, the span
+                            # sizing already proved the free blocks safe)
+                            nf = len(free)
+                            if nf == 0:
+                                return None
+                            if not dynamic or nf == 1:
+                                active = free.pop(0)
+                            else:
+                                active = free[0]
+                                best_pe = eff_l[active]
+                                for blk in free:
+                                    v_ = eff_l[blk]
+                                    if v_ < best_pe:
+                                        active = blk
+                                        best_pe = v_
+                                free_remove(active)
+                            alive[active] = next_ext
+                            next_ext += 1
+                            continue
+                    break
+                idx = end
+            pos = s_end
+            seg_i += 1
+        m = group + 1
+        if stop_erases is not None and n_erased >= stop_erases:
+            break
+    C = pos
+
+    # ==================================================================
+    # Apply: commit the planned end state in vectorized passes.
+    # ==================================================================
+    exec_segs = segments[:seg_i]
+    host_pages = 0
+    rmw_pages = 0
+    for s in exec_segs:
+        host_pages += s.host_pages
+        rmw_pages += s.rmw_pages
+    stats = ftl.stats
+    stats.host_pages_requested += host_pages
+    stats.host_pages_programmed += host_pages
+    stats.rmw_pages_programmed += rmw_pages
+    stats.pages_read += rmw_pages
+    stats.gc_runs += n_erased
+    stats.blocks_erased += n_erased
+    counters = pkg.counters
+    counters.page_programs += C * ftl.unit_pages
+    counters.page_reads += rmw_pages
+    ftl._erases_since_wl_check = wl_ctr
+
+    valid = ftl._valid
+    vcount = ftl._valid_count
+
+    # Pre-burst mappings overwritten by executed writes go invalid.
+    old_exec = old_ppu[old_pos < C] if old_ppu.size else old_ppu
+    if old_exec.size:
+        valid[old_exec] = False
+        delta = np.bincount(old_exec // upb, minlength=n_blocks)
+        np.subtract(vcount, delta, out=vcount)
+
+    # Erased blocks: final wear plus a full per-block state reset.
+    if victims:
+        vic_u = np.unique(np.array(victims, dtype=np.int64))
+        vl = vic_u.tolist()
+        pkg.apply_erase_burst(
+            vic_u,
+            np.array([perm_l[v] for v in vl]),
+            np.array([reco_l[v] for v in vl]),
+            np.array([eff_l[v] for v in vl]),
+            n_erased,
+        )
+        ftl._p2l.reshape(n_blocks, upb)[vic_u] = -1
+        valid.reshape(n_blocks, upb)[vic_u] = False
+        vcount[vic_u] = 0
+        ftl._closed[vic_u] = False
+
+    # Scatter the surviving in-burst placements: per alive extent, the
+    # placed units' reverse map, validity, per-block counts, and the
+    # forward map of each LPN's last executed write.
+    items = list(alive.items())
+    a_blocks = np.array([b for b, _ in items], dtype=np.int64)
+    ks = np.array([k for _, k in items], dtype=np.int64)
+    starts = ext_starts[ks]
+    ends = np.minimum(ext_ends[ks], C)
+    lens = ends - starts
+    slot0 = a_blocks * upb
+    if b0_pre:
+        slot0 = slot0 + np.where(ks == 0, a0, 0)
+    red = np.cumsum(lens) - lens
+    tot = int(lens.sum())
+    intra = np.arange(tot, dtype=np.int64) - np.repeat(red, lens)
+    ppus = np.repeat(slot0, lens) + intra
+    sidx = np.repeat(starts, lens) + intra
+    su = U[sidx]
+    sv = nxt[sidx] >= C
+    ftl._p2l[ppus] = su
+    valid[ppus] = sv
+    vcount[a_blocks] += np.add.reduceat(sv.astype(np.int64), red)
+    ftl._l2p[su[sv]] = ppus[sv]
+    if closed_in_burst:
+        cb = np.fromiter(closed_in_burst, dtype=np.int64, count=len(closed_in_burst))
+        ftl._closed[cb] = True
+
+    ftl._free_blocks[:] = free
+    ftl._active_block = active
+    ftl._active_offset = aoff
+
+    # Victim-queue end state.  Tracked counts always equal the valid
+    # counts (add/apply_delta maintain that), so membership + counts
+    # rebuild from the committed arrays.  The min hint follows the
+    # scalar rules: any selection settles it at the zero bucket; with no
+    # erase it is only ever lowered, by close-time counts and by updated
+    # counts of delta-hit tracked blocks — whose infimum over the burst
+    # is the final count of each contributing block.
+    closed_now = ftl._closed
+    np.copyto(queue._count_of, np.where(closed_now, vcount, -1))
+    queue._tracked = int(np.count_nonzero(closed_now))
+    if n_erased:
+        queue._min_hint = 0
+    else:
+        hint = hint0
+        if old_exec.size:
+            hb = np.unique(old_exec // upb)
+            hb = hb[tracked0[hb]]
+            if hb.size:
+                lowest = int(vcount[hb].min())
+                if lowest < hint:
+                    hint = lowest
+        if closed_in_burst:
+            lowest = int(vcount[cb].min())
+            if lowest < hint:
+                hint = lowest
+        queue._min_hint = hint
+    return m

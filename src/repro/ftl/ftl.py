@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DeviceWornOut, OutOfSpaceError, ReadOnlyError, UncorrectableError
 from repro.flash.package import FlashPackage
+from repro.ftl.burst import execute_write_burst
 from repro.obs import FtlInstruments
 from repro.ftl.gc import GreedyVictimPolicy, VictimQueue
 from repro.ftl.stats import FtlStats
@@ -239,6 +240,20 @@ class PageMappedFTL:
             if obs is not None:
                 obs.pages_read.inc(rmw_pages)
         self._write_units(unit_lpns, _Source.MIGRATION if as_migration else _Source.HOST)
+
+    def write_requests_batch(self, segments, num_groups, stop_erases=None):
+        """Fused burst execution of many write calls (DESIGN.md §11).
+
+        ``segments`` are :class:`repro.ftl.burst.BurstSegment` plans —
+        one per would-be :meth:`write_requests` call — grouped into
+        ``num_groups`` workload steps.  Returns the number of whole
+        groups executed (the burst truncates at the group boundary where
+        ``stop_erases`` further block erases have landed), or ``None``
+        with the FTL untouched when the burst cannot be proven
+        equivalent to the scalar path — the caller must then replay the
+        same writes through :meth:`write_requests`.
+        """
+        return execute_write_burst(self, segments, num_groups, stop_erases)
 
     def write_pages_scattered(self, page_lpns: np.ndarray) -> None:
         """Independent single-page sync writes (e.g. 4 KiB fsync ops)."""

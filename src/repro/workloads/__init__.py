@@ -6,12 +6,15 @@ random / 128 KiB sequential, with space-utilization control), and
 synthetic benign-app traces for the mitigation study.
 """
 
+from repro.workloads.batch import BRICK_ERRORS, generic_step_batch
 from repro.workloads.patterns import RandomPattern, SequentialPattern
 from repro.workloads.microbench import BandwidthPoint, measure_bandwidth, sweep_block_sizes
 from repro.workloads.wearout import FileRewriteWorkload, fill_static_space
 from repro.workloads.traces import AppTrace, BENIGN_TRACES, spotify_bug_trace
 
 __all__ = [
+    "BRICK_ERRORS",
+    "generic_step_batch",
     "RandomPattern",
     "SequentialPattern",
     "BandwidthPoint",

@@ -135,3 +135,65 @@ class FileRewriteWorkload:
             self.files[index], offsets, self.request_bytes, sync=self.sync
         )
         return duration, self.batch_requests * self.request_bytes
+
+    def step_batch(self, n: int, budget=None):
+        """Advance up to ``n`` steps through the fused burst path.
+
+        Implements the batch protocol of :mod:`repro.workloads.batch`:
+        returns ``(durations, byte_counts, bricked)`` for the executed
+        prefix, or None — with all generator state rewound — when the
+        fused path cannot run and the caller must replay via
+        :meth:`step`.  A burst truncated at ``m < n`` steps rewinds the
+        pattern generators and replays exactly ``m`` draws, so their
+        state (and any snapshot taken afterwards) is bit-identical to a
+        scalar run of ``m`` steps.
+        """
+        fs_burst = getattr(self.fs, "write_requests_burst", None)
+        if n < 1 or not self.sync or fs_burst is None:
+            return None
+        num_files = len(self.files)
+        start_file = self._next_file
+        saved = self._capture_pattern_state()
+        plans = []
+        for i in range(n):
+            index = (start_file + i) % num_files
+            offsets = self._generators[index].next_batch(self.batch_requests)
+            plans.append((self.files[index], offsets))
+        out = fs_burst(plans, self.request_bytes, budget)
+        if out is None:
+            self._restore_pattern_state(saved)
+            return None
+        m, durations = out
+        if m < n:
+            self._restore_pattern_state(saved)
+            for i in range(m):
+                index = (start_file + i) % num_files
+                self._generators[index].next_batch(self.batch_requests)
+        self._next_file = (start_file + m) % num_files
+        app_bytes = self.batch_requests * self.request_bytes
+        return durations, [app_bytes] * m, False
+
+    def _capture_pattern_state(self):
+        """Snapshot every generator's RNG state / cursor for rewind.
+
+        Random patterns may share one Generator object (they are built
+        from the workload's substream), so RNG states are captured once
+        per distinct object.
+        """
+        entries = []
+        seen = set()
+        for generator in self._generators:
+            rng = getattr(generator, "_rng", None)
+            if rng is not None and id(rng) not in seen:
+                seen.add(id(rng))
+                entries.append(("rng", rng, rng.bit_generator.state))
+            if hasattr(generator, "_cursor"):
+                entries.append(("cursor", generator, generator._cursor))
+        return entries
+
+    def _restore_pattern_state(self, entries) -> None:
+        for kind, target, value in entries:
+            if kind == "rng":
+                target.bit_generator.state = value
+            else:
+                target._cursor = value

@@ -8,6 +8,8 @@ Covers the two acceptance contracts (DESIGN.md §8):
   converges on the same final store.
 """
 
+import os
+
 import pytest
 
 from repro.campaign.runner import CampaignRunner, run_point
@@ -91,13 +93,24 @@ class TestSerialRun:
 class TestDeterminism:
     """Acceptance: N workers, any scheduling -> byte-identical store."""
 
-    def test_workers4_matches_serial_byte_for_byte(self):
+    def test_workers4_matches_serial_byte_for_byte(self, monkeypatch):
+        # The runner clamps the pool to the machine's core count; pin it
+        # so the genuine multiprocessing path runs even on 1-core CI.
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         spec = mixed_campaign()
         serial, parallel = ResultStore(None), ResultStore(None)
         CampaignRunner(spec, serial).run(workers=1)
-        CampaignRunner(spec, parallel).run(workers=4)
+        report = CampaignRunner(spec, parallel).run(workers=4)
+        assert report.workers == 4
         assert parallel.canonical_bytes() == serial.canonical_bytes()
         assert parallel.fingerprint() == serial.fingerprint()
+
+    def test_pool_clamped_to_core_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        spec = bandwidth_campaign()
+        report = CampaignRunner(spec, ResultStore(None)).run(workers=4)
+        assert report.workers == 1
+        assert report.ran == len(spec)
 
     def test_serial_rerun_reproduces_itself(self):
         spec = bandwidth_campaign()

@@ -92,6 +92,17 @@ class TestCampaign:
                      "--fresh", "--quiet"]) == 0
         assert "ran=2" in capsys.readouterr().out
 
+    def test_profile_writes_hotspot_table(self, capsys, tmp_path):
+        store_dir = tmp_path / "stores"
+        assert main(["campaign", "smoke", "--store-dir", str(store_dir),
+                     "--quiet", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot table written:" in out
+        profile_path = store_dir / "smoke_profile.txt"
+        assert profile_path.exists()
+        table = profile_path.read_text()
+        assert "cumulative" in table and "ncalls" in table
+
     def test_unknown_campaign_rejected(self):
         with pytest.raises(SystemExit):
             main(["campaign", "fig99"])

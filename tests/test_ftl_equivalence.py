@@ -390,6 +390,110 @@ class TestVictimQueue:
         assert list(q.blocks_at(3)) == []
 
 
+def run_burst_scenario(fused: bool, steps: int = 120, chunk: int = 8, seed: int = 5):
+    """The batched-vs-scalar differential workload: a stream of 4 KiB
+    write batches that crosses from fill into GC steady state, driven
+    either through ``write_burst`` (with
+    per-step ``write_many`` fallback for any step the fused path
+    refuses) or purely through ``write_many``.  Both must land on the
+    same pinned end state."""
+    from repro.devices import build_device
+
+    device = build_device("emmc-8gb", scale=1024, seed=seed)
+    rng = np.random.default_rng(seed)
+    page = 4 * KIB
+    span = device.logical_capacity // page
+    batches = [
+        rng.integers(0, span, size=96, dtype=np.int64) * page for _ in range(steps)
+    ]
+    durations = []
+    if fused:
+        for start in range(0, steps, chunk):
+            window = batches[start : start + chunk]
+            groups = [[(offsets, page)] for offsets in window]
+            out = device.write_burst(groups, budget=None)
+            executed = 0
+            if out is not None:
+                executed, seg_durations = out
+                durations.extend(seg_durations)
+            for offsets in window[executed:]:
+                durations.append(device.write_many(offsets, page))
+    else:
+        for offsets in batches:
+            durations.append(device.write_many(offsets, page))
+    return device, durations
+
+
+# End-state digest of run_burst_scenario on the scalar write_many path
+# (the burst path must reproduce it bit for bit).
+BURST_SCENARIO_FINGERPRINT = (
+    "4f430cfc66eab07145a9e6a43d97548e189de80b403b74700ca0d7ed99e20f6c"
+)
+
+
+class TestWriteBurstEquivalence:
+    """The fused device burst path (repro.ftl.burst) must be
+    indistinguishable from per-step write_many calls."""
+
+    def test_burst_matches_sequential_write_many(self):
+        fused_device, fused_durations = run_burst_scenario(fused=True)
+        scalar_device, scalar_durations = run_burst_scenario(fused=False)
+        assert fused_durations == scalar_durations
+        assert fused_device.busy_seconds == scalar_device.busy_seconds
+        assert fused_device.host_bytes_written == scalar_device.host_bytes_written
+        assert ftl_fingerprint(fused_device.ftl) == ftl_fingerprint(scalar_device.ftl)
+
+    def test_scalar_scenario_matches_golden_digest(self):
+        device, _ = run_burst_scenario(fused=False)
+        assert ftl_fingerprint(device.ftl) == BURST_SCENARIO_FINGERPRINT
+
+    def test_budget_truncates_burst_exactly(self):
+        """The burst must stop at the step whose erases exhaust the
+        budget — the step a scalar run would poll at."""
+        from repro.devices import build_device
+
+        fused = build_device("emmc-8gb", scale=1024, seed=5)
+        scalar = build_device("emmc-8gb", scale=1024, seed=5)
+        rng = np.random.default_rng(5)
+        unit = fused.ftl.unit_bytes
+        # Rewrite a hot region wholesale each step: previous passes'
+        # blocks go fully invalid, so GC stays on the clean path the
+        # burst can prove (the FileRewriteWorkload regime) while the
+        # erase rate is high enough to spend a small budget mid-burst.
+        region = np.arange(3000, dtype=np.int64) * unit
+        batches = [rng.permutation(region) for _ in range(14)]
+        # Prime both devices into GC steady state identically.
+        for offsets in batches[:6]:
+            fused.write_many(offsets, unit)
+            scalar.write_many(offsets, unit)
+        counters = fused.ftl.package.counters
+        assert counters.block_erases > 0
+        budget = [(counters, counters.block_erases + 30)]
+
+        groups = [[(offsets, unit)] for offsets in batches[6:]]
+        out = fused.write_burst(groups, budget)
+        assert out is not None
+        m, seg_durations = out
+        assert 1 <= m < len(groups)
+        assert counters.block_erases >= budget[0][1]
+
+        scalar_durations = [scalar.write_many(offsets, unit) for offsets in batches[6 : 6 + m]]
+        assert seg_durations == scalar_durations
+        assert ftl_fingerprint(fused.ftl) == ftl_fingerprint(scalar.ftl)
+
+    def test_foreign_budget_counters_refuse_burst(self):
+        """A budget naming another device's counters cannot be honoured;
+        the burst must refuse rather than guess."""
+        from repro.devices import build_device
+
+        device = build_device("emmc-8gb", scale=1024, seed=5)
+        other = build_device("emmc-8gb", scale=1024, seed=5)
+        page = 4 * KIB
+        groups = [[(np.array([0, page], dtype=np.int64), page)]]
+        budget = [(other.ftl.package.counters, 10)]
+        assert device.write_burst(groups, budget) is None
+
+
 class TestEmptyBatches:
     """Zero-request batches must be exact no-ops at every layer."""
 
