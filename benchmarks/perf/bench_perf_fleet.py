@@ -1,0 +1,158 @@
+"""Perf benchmark: fleet-scale cohort engine (DESIGN.md §12).
+
+Gates the headline claim of the cohort engine: simulating a
+1000-device cohort through :func:`repro.fleet.run_cohort` must beat an
+equivalent loop of scalar ``WearOutExperiment`` runs by at least
+``FLEET_SPEEDUP``x — while staying *bit-identical* per device.
+
+* ``fleet_cohort_1k`` — one 1000-device cohort (emmc-8gb, scale 512,
+  the paper's 4 KiB random-rewrite attack, run to wear level 3),
+  end-to-end: leader branch, certificate-gated lockstep advance, any
+  demotion replays, result assembly.  The fingerprint digests the full
+  cohort result record (shared result, demotion map, certificates).
+* ``fleet_scalar_sample`` — ``SAMPLE_SIZE`` randomly sampled members
+  of the same cohort re-run as plain scalar experiments via
+  :func:`repro.fleet.scalar_member_result`.  Each sampled result must
+  be JSON-identical to what the cohort run reported for that member —
+  the spot-check contract — and the timing, extrapolated to the full
+  population (``elapsed / SAMPLE_SIZE * POPULATION``; every member
+  runs the same configuration, so per-member cost is uniform), is the
+  scalar-loop cost the speedup gate compares against.
+
+Run directly:
+``PYTHONPATH=src python benchmarks/perf/bench_perf_fleet.py``
+(``--check`` for CI gating, ``--update`` to refresh the baseline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.fleet import CohortSpec, resolve_cohort_seed, run_cohort, scalar_member_result
+from repro.rng import DEFAULT_SEED, substream_seed
+from repro.units import KIB
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+from benchmarks.perf.common import BenchCase, main  # noqa: E402
+
+POPULATION = 1000
+
+#: Members re-run as scalar experiments for the bit-identity spot check
+#: and the extrapolated scalar-loop timing.
+SAMPLE_SIZE = 3
+
+#: Required speedup of the cohort engine over the equivalent loop of
+#: scalar experiments (ISSUE 7 gate).
+FLEET_SPEEDUP = 10.0
+
+#: Digest of the full 1000-device cohort result record.
+COHORT_FINGERPRINT = "3137e216c7501333c59886aaa6dfe15452e590c945469648fba66299af468cc9"
+
+#: Digest of the sampled members' scalar results (identical to the
+#: cohort's records for them by the spot-check contract).
+SAMPLE_FINGERPRINT = "3f671810ff2eba29424d2b932c96a0c7e23c7cfb02f63fa69cef44895293ad9d"
+
+#: Best elapsed seconds per case, for the speedup check after main().
+_BEST = {}
+
+#: The cohort result shared between the two cases (the scalar case
+#: verifies its members against it).
+_CACHE = {"cohort": None}
+
+
+def _spec() -> CohortSpec:
+    return CohortSpec(
+        device="emmc-8gb",
+        population=POPULATION,
+        scale=512,
+        pattern="rand",
+        request_bytes=4 * KIB,
+        until_level=3,
+        label="bench",
+    )
+
+
+def _sample_indices() -> list:
+    rng = np.random.default_rng(substream_seed(DEFAULT_SEED, "fleet-bench-sample"))
+    return sorted(int(i) for i in rng.choice(POPULATION, size=SAMPLE_SIZE, replace=False))
+
+
+def _result_json(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def run_fleet_cohort_1k():
+    spec = _spec()
+    seed = resolve_cohort_seed(spec, DEFAULT_SEED)
+    start = time.perf_counter()
+    cohort = run_cohort(spec, seed)
+    elapsed = time.perf_counter() - start
+    _BEST["fleet_cohort_1k"] = min(elapsed, _BEST.get("fleet_cohort_1k", float("inf")))
+    _CACHE["cohort"] = cohort
+    digest = hashlib.sha256(_result_json(cohort).encode()).hexdigest()
+    return elapsed, digest
+
+
+def run_fleet_scalar_sample():
+    spec = _spec()
+    seed = resolve_cohort_seed(spec, DEFAULT_SEED)
+    if _CACHE["cohort"] is None:
+        _CACHE["cohort"] = run_cohort(spec, seed)
+    cohort = _CACHE["cohort"]
+    indices = _sample_indices()
+    start = time.perf_counter()
+    scalars = [scalar_member_result(spec, seed, index) for index in indices]
+    elapsed = time.perf_counter() - start
+    _BEST["fleet_scalar_sample"] = min(
+        elapsed, _BEST.get("fleet_scalar_sample", float("inf"))
+    )
+    payload = []
+    for index, scalar in zip(indices, scalars):
+        member_json = json.dumps(
+            cohort.member_result(index).to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        scalar_json = json.dumps(
+            scalar.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        assert member_json == scalar_json, (
+            f"member {index}: cohort result diverged from its scalar run"
+        )
+        payload.append((index, scalar_json))
+    digest = hashlib.sha256(repr(payload).encode()).hexdigest()
+    return elapsed, digest
+
+
+CASES = [
+    BenchCase("fleet_cohort_1k", run_fleet_cohort_1k, COHORT_FINGERPRINT),
+    BenchCase("fleet_scalar_sample", run_fleet_scalar_sample, SAMPLE_FINGERPRINT),
+]
+
+
+def _speedup_check(check: bool) -> int:
+    cohort = _BEST.get("fleet_cohort_1k")
+    sample = _BEST.get("fleet_scalar_sample")
+    if not cohort or not sample:
+        return 0
+    scalar_loop = sample / SAMPLE_SIZE * POPULATION
+    speedup = scalar_loop / cohort
+    print(
+        f"fleet speedup: {speedup:.1f}x (cohort {cohort:.2f}s, scalar loop "
+        f"{scalar_loop:.1f}s extrapolated from {SAMPLE_SIZE} members)"
+    )
+    if check and speedup < FLEET_SPEEDUP:
+        print(f"FAIL: fleet speedup {speedup:.1f}x < {FLEET_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    code = main(CASES, argv)
+    code = code or _speedup_check("--check" in argv)
+    sys.exit(code)

@@ -133,6 +133,56 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
     figs.add_argument("--out", default="results", help="artifact output directory")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a device fleet and render population survival curves",
+        description="Runs an attacker-prevalence fleet — thousands of devices "
+        "grouped into cohorts, one exact leader experiment per cohort plus "
+        "structure-of-arrays follower state (DESIGN.md §12) — and writes the "
+        "population survival curves, the fleet detection table, and an ASCII "
+        "figure from one command.  Results stream into a resumable store and "
+        "are bit-identical for any worker count.",
+    )
+    fleet.add_argument("name", help="fleet name (keys the result store and artifacts)")
+    fleet.add_argument(
+        "--population", type=int, default=1000, help="total devices (default: 1000)"
+    )
+    fleet.add_argument(
+        "--prevalence", type=float, default=0.01,
+        help="fraction of the population running the attack (default: 0.01)",
+    )
+    fleet.add_argument(
+        "--device", choices=sorted(DEVICE_SPECS), default="emmc-8gb",
+        help="catalog key for every cohort (default: emmc-8gb)",
+    )
+    fleet.add_argument("--scale", type=int, default=512, help="capacity scale factor")
+    fleet.add_argument(
+        "--until-level", type=int, default=3,
+        help="wear-indicator level ending each device's run (default: 3)",
+    )
+    fleet.add_argument("--seed", type=int, default=None, help="fleet base seed")
+    fleet.add_argument("--workers", type=int, default=1, help="worker processes")
+    fleet.add_argument(
+        "--fresh", action="store_true",
+        help="invalidate the store and re-run every cohort (default: resume)",
+    )
+    fleet.add_argument(
+        "--store-dir", default=DEFAULT_STORE_DIR,
+        help=f"directory of fleet JSONL stores (default: {DEFAULT_STORE_DIR})",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir", default=None,
+        help="wear-state checkpoint directory for cohort prototype "
+        "warm-starting; bit-identical with or without it (DESIGN.md §10)",
+    )
+    fleet.add_argument("--out", default="results", help="artifact output directory")
+    fleet.add_argument("--quiet", action="store_true", help="suppress per-cohort lines")
+    fleet.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and write a hotspot table next to the "
+        "store; forces --workers 1 so the profile covers the cohort engine",
+    )
+
     rep = sub.add_parser(
         "report",
         help="wear / write-amplification / GC summary from a store or run",
@@ -287,6 +337,80 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        FleetRunner,
+        attacker_prevalence_fleet,
+        fleet_detection,
+        render_survival,
+        write_survival_jsonl,
+    )
+    from repro.rng import DEFAULT_SEED
+
+    spec = attacker_prevalence_fleet(
+        args.name,
+        population=args.population,
+        prevalence=args.prevalence,
+        device=args.device,
+        scale=args.scale,
+        until_level=args.until_level,
+        base_seed=DEFAULT_SEED if args.seed is None else args.seed,
+    )
+    store = _store_for(args.store_dir, f"fleet_{args.name}")
+    progress = None if args.quiet else print
+    runner = FleetRunner(spec, store, checkpoint_dir=args.checkpoint_dir)
+    workers = 1 if args.profile else args.workers
+
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = runner.run(workers=workers, fresh=args.fresh, progress=progress)
+        finally:
+            profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
+        profile_path = store.path.with_name(f"fleet_{args.name}_profile.txt")
+        profile_path.write_text(buffer.getvalue())
+        print(f"hotspot table written: {profile_path}")
+    else:
+        report = runner.run(workers=workers, fresh=args.fresh, progress=progress)
+
+    results = runner.results()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    curves_path = write_survival_jsonl(
+        out_dir / f"fleet_{args.name}_survival.jsonl", args.name, results
+    )
+    figure = render_survival(results)
+    figure_path = out_dir / f"fleet_{args.name}_survival.txt"
+    figure_path.write_text(figure + "\n")
+
+    detection = fleet_detection(results)
+    det_rows = [
+        [row["label"], row["population"], f"{row['score']:.4f}",
+         "FLAGGED" if row["flagged"] else "ok"]
+        for row in detection["cohorts"]
+    ]
+    print(report.describe())
+    print()
+    print(figure)
+    print()
+    print(format_table(["cohort", "devices", "score", "detection"], det_rows))
+    print(
+        f"flagged: {detection['flagged_devices']}/{detection['population']} devices "
+        f"({detection['flagged_fraction']:.2%})"
+    )
+    print(f"wrote {curves_path}")
+    print(f"wrote {figure_path}")
+    print(f"store: {store.path} ({len(store)} cohorts, fingerprint {store.fingerprint()[:16]})")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     names = args.campaigns or sorted(FIGURES)
     out_dir = pathlib.Path(args.out)
@@ -354,6 +478,7 @@ _COMMANDS = {
     "wearout": cmd_wearout,
     "phone": cmd_phone,
     "campaign": cmd_campaign,
+    "fleet": cmd_fleet,
     "figures": cmd_figures,
     "report": cmd_report,
     "state": cmd_state,

@@ -39,6 +39,25 @@ class PackageCounters:
         return self.page_programs * page_size
 
 
+def endurance_draw(
+    seed: SeedLike, num_blocks: int, sigma: float, nominal_limit: float = 1.0
+) -> np.ndarray:
+    """The per-block cycle-limit draw for a package built with ``seed``.
+
+    This is the only seed-dependent state a :class:`FlashPackage`
+    carries, factored out so fleet cohorts can replay any member
+    device's limits from its seed alone — without building the device
+    (``repro.fleet.soa``).  The constructor calls through here, which
+    keeps the two bit-identical by construction.
+    """
+    rng = substream(seed, "package-endurance")
+    if sigma > 0:
+        variation = rng.lognormal(mean=0.0, sigma=sigma, size=num_blocks)
+    else:
+        variation = np.ones(num_blocks)
+    return nominal_limit * variation
+
+
 class FlashPackage:
     """One NAND package: geometry + cell spec + per-block wear state.
 
@@ -86,12 +105,9 @@ class FlashPackage:
         # budget; manufacturing spread makes that limit vary block to block.
         rber_limit = self.ecc.max_tolerable_rber()
         nominal_limit = self.ber_model.cycles_at_rber(rber_limit, self.cell_spec.endurance)
-        rng = substream(seed, "package-endurance")
-        if endurance_sigma > 0:
-            variation = rng.lognormal(mean=0.0, sigma=endurance_sigma, size=n)
-        else:
-            variation = np.ones(n)
-        self._cycle_limit = nominal_limit * variation
+        self.endurance_sigma = float(endurance_sigma)
+        self.nominal_cycle_limit = float(nominal_limit)
+        self._cycle_limit = endurance_draw(seed, n, endurance_sigma, nominal_limit)
         self._last_heal_time = 0.0
 
         # Effective-wear cache: ``_pe_permanent + _pe_recoverable`` is the

@@ -1,0 +1,182 @@
+"""Population survival curves: fraction of a fleet at each JEDEC wear
+level vs. time (DESIGN.md §12).
+
+A fleet result is a set of :class:`~repro.fleet.engine.CohortResult`
+objects.  Lockstep members share their leader's crossing times, so a
+cohort contributes one population-weighted step per crossing; demoted
+members contribute their own.  Everything here is pure arithmetic over
+result records — deterministic for a deterministic fleet run, whatever
+the worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.figures import ascii_series
+from repro.core.results import WearOutResult
+from repro.fleet.engine import CohortResult
+
+DAY = 86400.0
+
+
+def crossing_times(result: WearOutResult) -> Dict[int, float]:
+    """Level → simulated seconds when the device first reached it.
+
+    Levels skipped in one increment (a from→to jump) are assigned the
+    jump's crossing time.  On hybrid devices a level counts as reached
+    when *any* memory type reaches it — matching the run's own
+    termination rule.
+    """
+    per_type: Dict[str, float] = {}
+    crossings: Dict[int, float] = {}
+    for rec in result.increments:
+        t = per_type.get(rec.memory_type, 0.0) + rec.seconds
+        per_type[rec.memory_type] = t
+        for level in range(rec.from_level + 1, rec.to_level + 1):
+            if level not in crossings or t < crossings[level]:
+                crossings[level] = t
+    return crossings
+
+
+def cohort_events(
+    cohort: CohortResult,
+) -> Tuple[List[Tuple[int, float, int]], List[Tuple[float, int]]]:
+    """Population-weighted wear events for one cohort.
+
+    Returns ``(crossings, bricks)`` where crossings are
+    ``(level, t_seconds, device_count)`` and bricks are
+    ``(t_seconds, device_count)``.  Times are wall-clock: the cohort's
+    device-busy crossing times stretched by ``1 / duty_cycle``, so a
+    bursty benign cohort ages proportionally slower on the calendar
+    than a sustained attacker at the same simulated trajectory.
+    """
+    crossings: List[Tuple[int, float, int]] = []
+    bricks: List[Tuple[float, int]] = []
+    stretch = 1.0 / cohort.spec.duty_cycle
+
+    def add(result: WearOutResult, weight: int) -> None:
+        for level, t in crossing_times(result).items():
+            crossings.append((level, t * stretch, weight))
+        if result.bricked:
+            bricks.append((result.total_seconds * stretch, weight))
+
+    add(cohort.shared, cohort.lockstep_count)
+    for index in sorted(cohort.demoted):
+        add(cohort.demoted[index], 1)
+    return crossings, bricks
+
+
+def survival_curves(results: Iterable[CohortResult]) -> Dict[str, Any]:
+    """Fleet-wide survival data.
+
+    Returns a dict with ``population`` and ``levels``: for each wear
+    level seen anywhere in the fleet, a step series of
+    ``[t_seconds, fraction]`` points — the fraction of the fleet that
+    has reached at least that level by time ``t`` — plus a ``bricked``
+    series with the same shape.
+    """
+    results = list(results)
+    population = sum(r.population for r in results)
+    by_level: Dict[int, Dict[float, int]] = {}
+    brick_steps: Dict[float, int] = {}
+    for cohort in results:
+        crossings, bricks = cohort_events(cohort)
+        for level, t, weight in crossings:
+            steps = by_level.setdefault(level, {})
+            steps[t] = steps.get(t, 0) + weight
+        for t, weight in bricks:
+            brick_steps[t] = brick_steps.get(t, 0) + weight
+
+    def series(steps: Dict[float, int]) -> List[List[float]]:
+        points: List[List[float]] = []
+        reached = 0
+        for t in sorted(steps):
+            reached += steps[t]
+            points.append([t, reached / population if population else 0.0])
+        return points
+
+    return {
+        "population": population,
+        "levels": {level: series(by_level[level]) for level in sorted(by_level)},
+        "bricked": series(brick_steps),
+    }
+
+
+def write_survival_jsonl(
+    path: Union[str, Path],
+    fleet_name: str,
+    results: Iterable[CohortResult],
+) -> Path:
+    """The ``repro fleet`` JSONL artifact: one header line, one line per
+    wear level, one ``bricked`` line.  Content is a pure function of
+    the fleet results (times in days, fractions exact)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    curves = survival_curves(results)
+    lines = [
+        json.dumps(
+            {
+                "fleet": fleet_name,
+                "population": curves["population"],
+                "levels": sorted(curves["levels"]),
+            },
+            sort_keys=True,
+        )
+    ]
+    for level in sorted(curves["levels"]):
+        points = [[t / DAY, frac] for t, frac in curves["levels"][level]]
+        lines.append(json.dumps({"level": level, "points": points}, sort_keys=True))
+    lines.append(
+        json.dumps(
+            {"bricked": [[t / DAY, frac] for t, frac in curves["bricked"]]},
+            sort_keys=True,
+        )
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _median_time(points: List[List[float]]) -> Optional[float]:
+    """Seconds at which the series first covers half the population it
+    ever covers (median crossing time of the reaching sub-population)."""
+    if not points:
+        return None
+    final = points[-1][1]
+    for t, frac in points:
+        if frac >= final / 2.0:
+            return t
+    return points[-1][0]
+
+
+def render_survival(results: Iterable[CohortResult], width: int = 40) -> str:
+    """ASCII survival figure: per level, the fraction of the fleet that
+    reaches it and the median days it takes to get there."""
+    curves = survival_curves(list(results))
+    if not curves["levels"]:
+        return "(no wear crossings in fleet)"
+    labels: List[str] = []
+    fractions: List[float] = []
+    medians: List[float] = []
+    for level in sorted(curves["levels"]):
+        points = curves["levels"][level]
+        labels.append(f"level {level:>2}")
+        fractions.append(points[-1][1] * 100.0)
+        medians.append((_median_time(points) or 0.0) / DAY)
+    out = [
+        f"population: {curves['population']} devices",
+        "",
+        "fraction of fleet reaching level:",
+        ascii_series(labels, fractions, width=width, unit="%"),
+        "",
+        "median days to reach level:",
+        ascii_series(labels, medians, width=width, unit="d"),
+    ]
+    if curves["bricked"]:
+        bricked = curves["bricked"][-1][1] * 100.0
+        first = curves["bricked"][0][0] / DAY
+        out.append("")
+        out.append(f"bricked: {bricked:.2f}% of fleet (first at {first:.1f} days)")
+    return "\n".join(out)

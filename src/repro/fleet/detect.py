@@ -1,0 +1,109 @@
+"""Fleet-level attacker detection (§4.5 at population scale).
+
+Reuses the :mod:`repro.mitigations` I/O-pattern classifier: every
+cohort's leader result summarizes the I/O behaviour of its whole
+population (lockstep members share it exactly; demoted members differ
+only in endurance, not workload), so one feature vector per cohort
+scores the entire fleet.  The attacker-prevalence sweep asks the
+paper's fleet question directly: at what fraction of misbehaving
+devices does fleet-side detection light up, and how much of the fleet
+is wearing out meanwhile?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.fleet.engine import CohortResult
+from repro.mitigations import AppIoFeatures, IoPatternClassifier
+
+#: Full-scale rewrite-target size of the fleet workload
+#: (FileRewriteWorkload's default file_bytes); the working set the
+#: overwrite ratio is measured against.
+_FILE_BYTES = 100 * 1000 * 1000
+
+#: Fleet-side detection observes a recent window, not a lifetime —
+#: :class:`AppIoFeatures` is documented as a window summary.  One
+#: wall-clock day matches the paper's framing (tens of GiB *per day*).
+DETECTION_WINDOW_HOURS = 24.0
+
+
+def cohort_features(cohort: CohortResult) -> AppIoFeatures:
+    """Classifier features for one cohort's workload over one detection
+    window.
+
+    The cohort result records device-busy totals; the fleet observer
+    sees wall-clock rates, so the busy rate is diluted by the cohort's
+    duty cycle and the overwrite ratio is measured over the bytes that
+    land within :data:`DETECTION_WINDOW_HOURS` — a sustained attacker
+    churns its working set hundreds of times per day while a bursty
+    benign writer may not cover it once.
+    """
+    result = cohort.shared
+    spec = cohort.spec
+    if result.total_seconds <= 0:
+        return AppIoFeatures(0.0, float(spec.request_bytes), 1.0, spec.duty_cycle)
+    busy_rate = result.total_app_bytes / result.total_seconds
+    bytes_per_hour = busy_rate * spec.duty_cycle * 3600.0
+    window_bytes = bytes_per_hour * DETECTION_WINDOW_HOURS
+    working_set = max(1, spec.num_files * _FILE_BYTES)
+    unique_bytes = min(float(working_set), window_bytes)
+    overwrite = window_bytes / unique_bytes if unique_bytes > 0 else 1.0
+    return AppIoFeatures(
+        bytes_per_hour=bytes_per_hour,
+        mean_request_bytes=float(spec.request_bytes),
+        overwrite_ratio=max(1.0, overwrite),
+        active_fraction=spec.duty_cycle,
+    )
+
+
+@dataclass(frozen=True)
+class CohortDetection:
+    """One cohort's classification."""
+
+    label: str
+    population: int
+    score: float
+    flagged: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "population": self.population,
+            "score": round(self.score, 4),
+            "flagged": self.flagged,
+        }
+
+
+def fleet_detection(
+    results: Sequence[CohortResult],
+    classifier: Optional[IoPatternClassifier] = None,
+) -> Dict[str, Any]:
+    """Score every cohort; returns per-cohort rows plus the
+    population-weighted flagged fraction."""
+    classifier = classifier or IoPatternClassifier()
+    rows: List[CohortDetection] = []
+    flagged_devices = 0
+    population = 0
+    for cohort in results:
+        features = cohort_features(cohort)
+        score = classifier.score(features)
+        flagged = score >= classifier.threshold
+        rows.append(
+            CohortDetection(
+                label=cohort.spec.label or cohort.spec.display,
+                population=cohort.population,
+                score=score,
+                flagged=flagged,
+            )
+        )
+        population += cohort.population
+        if flagged:
+            flagged_devices += cohort.population
+    return {
+        "cohorts": [row.to_dict() for row in rows],
+        "population": population,
+        "flagged_devices": flagged_devices,
+        "flagged_fraction": flagged_devices / population if population else 0.0,
+    }

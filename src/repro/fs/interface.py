@@ -33,7 +33,7 @@ def _expand_page_ranges(first: np.ndarray, last: np.ndarray) -> np.ndarray:
     if total == counts.size:
         return first
     starts_repeated = np.repeat(first, counts)
-    run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    run_starts = np.repeat(counts.cumsum() - counts, counts)
     return starts_repeated + (np.arange(total, dtype=np.int64) - run_starts)
 
 

@@ -449,7 +449,7 @@ def execute_write_burst(
     slot0 = a_blocks * upb
     if b0_pre:
         slot0 = slot0 + np.where(ks == 0, a0, 0)
-    red = np.cumsum(lens) - lens
+    red = lens.cumsum() - lens
     tot = int(lens.sum())
     intra = np.arange(tot, dtype=np.int64) - np.repeat(red, lens)
     ppus = np.repeat(slot0, lens) + intra

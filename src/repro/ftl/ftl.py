@@ -66,7 +66,7 @@ def _ragged_ranges(first: np.ndarray, last: np.ndarray) -> np.ndarray:
     if total == counts.size:
         return first.copy()
     starts_repeated = np.repeat(first, counts)
-    run_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    run_starts = np.repeat(counts.cumsum() - counts, counts)
     return starts_repeated + (np.arange(total, dtype=np.int64) - run_starts)
 
 
@@ -519,8 +519,10 @@ class PageMappedFTL:
                 counts[segments[0][0]] += survivors.size
             else:
                 # Per-segment survivor counts from one cumulative sum
-                # instead of a count_nonzero per segment.
-                csum = np.cumsum(last_mask)
+                # instead of a count_nonzero per segment.  The bound
+                # array method skips np.cumsum's dispatch wrapper —
+                # this runs once per span in the scalar step path.
+                csum = last_mask.cumsum()
                 prev = 0
                 for block, seg_start, seg_end in segments:
                     c = int(csum[seg_end - 1])

@@ -1,0 +1,149 @@
+"""Fleet runner determinism, resume, curves, detection, and CLI."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.cli.main import main as cli_main
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    CohortSpec,
+    FleetRunner,
+    FleetSpec,
+    attacker_prevalence_fleet,
+    cohort_events,
+    cohort_features,
+    fleet_detection,
+    render_survival,
+    resolve_cohort_seed,
+    run_cohort,
+    survival_curves,
+    write_survival_jsonl,
+)
+
+
+def small_fleet() -> FleetSpec:
+    return attacker_prevalence_fleet(
+        "test", population=20, prevalence=0.1, until_level=2
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_results():
+    """One serial reference run of the small fleet, shared by the
+    read-only analysis tests."""
+    runner = FleetRunner(small_fleet(), ResultStore(None))
+    runner.run(workers=1)
+    return runner
+
+
+class TestFleetRunner:
+    def test_parallel_matches_serial_fingerprint(self, fleet_results, monkeypatch):
+        # The box running tests may have one core; the clamp would then
+        # silently serialize, so force the pool path explicitly.
+        import repro.fleet.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 4)
+        parallel = FleetRunner(small_fleet(), ResultStore(None))
+        report = parallel.run(workers=2)
+        assert report.workers == 2
+        assert parallel.store.fingerprint() == fleet_results.store.fingerprint()
+
+    def test_resume_skips_completed_cohorts(self, tmp_path):
+        store_path = tmp_path / "fleet.jsonl"
+        first = FleetRunner(small_fleet(), ResultStore(store_path))
+        r1 = first.run()
+        assert (r1.ran, r1.skipped) == (2, 0)
+        second = FleetRunner(small_fleet(), ResultStore(store_path))
+        r2 = second.run()
+        assert (r2.ran, r2.skipped) == (0, 2)
+        assert second.store.fingerprint() == first.store.fingerprint()
+        fresh = FleetRunner(small_fleet(), ResultStore(store_path))
+        r3 = fresh.run(fresh=True)
+        assert r3.ran == 2
+
+    def test_report_population_accounting(self, fleet_results):
+        report = fleet_results.run()  # all skipped; report covers store
+        assert report.population == 20
+        assert report.lockstep_devices + report.demoted_devices == 20
+
+    def test_rejects_bad_workers(self, fleet_results):
+        with pytest.raises(ConfigurationError):
+            fleet_results.run(workers=0)
+
+
+class TestCurves:
+    def test_survival_fractions_reach_one(self, fleet_results):
+        curves = survival_curves(fleet_results.results())
+        assert curves["population"] == 20
+        for level, points in curves["levels"].items():
+            assert points[-1][1] == pytest.approx(1.0)
+            times = [t for t, _ in points]
+            assert times == sorted(times)
+
+    def test_duty_cycle_stretches_wall_time(self):
+        base = CohortSpec(device="emmc-8gb", population=2, scale=512,
+                          pattern="rand", until_level=2, seed=99)
+        slow = replace(base, duty_cycle=0.5)
+        full = run_cohort(base, resolve_cohort_seed(base, 1))
+        half = run_cohort(slow, resolve_cohort_seed(slow, 1))
+        # Same explicit seed, same trajectory: every wall-clock crossing
+        # time doubles at half duty.
+        full_events = sorted(cohort_events(full)[0])
+        half_events = sorted(cohort_events(half)[0])
+        assert len(full_events) == len(half_events)
+        for (lvl_a, t_a, w_a), (lvl_b, t_b, w_b) in zip(full_events, half_events):
+            assert (lvl_a, w_a) == (lvl_b, w_b)
+            assert t_b == pytest.approx(2.0 * t_a)
+
+    def test_jsonl_artifact(self, fleet_results, tmp_path):
+        path = write_survival_jsonl(tmp_path / "survival.jsonl", "test",
+                                    fleet_results.results())
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["fleet"] == "test"
+        assert lines[0]["population"] == 20
+        assert "bricked" in lines[-1]
+
+    def test_render_survival(self, fleet_results):
+        figure = render_survival(fleet_results.results())
+        assert "population: 20 devices" in figure
+        assert "level" in figure
+
+
+class TestDetection:
+    def test_attacker_flagged_benign_not(self, fleet_results):
+        detection = fleet_detection(fleet_results.results())
+        by_label = {row["label"]: row for row in detection["cohorts"]}
+        assert by_label["attacker"]["flagged"]
+        assert not by_label["benign"]["flagged"]
+        assert detection["flagged_devices"] == by_label["attacker"]["population"]
+
+    def test_duty_cycle_dilutes_features(self, fleet_results):
+        results = fleet_results.results()
+        by_label = {r.spec.label: r for r in results}
+        benign = cohort_features(by_label["benign"])
+        attacker = cohort_features(by_label["attacker"])
+        assert benign.active_fraction == by_label["benign"].spec.duty_cycle
+        assert attacker.active_fraction == 1.0
+        assert benign.bytes_per_hour < attacker.bytes_per_hour
+
+
+class TestFleetCli:
+    def test_fleet_command_end_to_end(self, tmp_path, capsys):
+        code = cli_main([
+            "fleet", "clitest",
+            "--population", "10",
+            "--prevalence", "0.2",
+            "--until-level", "2",
+            "--store-dir", str(tmp_path / "store"),
+            "--out", str(tmp_path / "out"),
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert (tmp_path / "out" / "fleet_clitest_survival.jsonl").exists()
+        assert (tmp_path / "out" / "fleet_clitest_survival.txt").exists()
+        assert (tmp_path / "store" / "fleet_clitest.jsonl").exists()
