@@ -1,0 +1,113 @@
+"""Perf benchmark: the event-driven timing backend (DESIGN.md §13).
+
+Three cases, each doubling as a wear-equivalence gate:
+
+* ``timing_event_stream`` — the GC-heavy 120-step random write stream
+  (the burst-equivalence scenario) on an ``timing="event"`` device.
+  Its fingerprint is pinned to the SAME golden digest the analytic
+  scalar path pinned in ``tests/test_ftl_equivalence.py``, so the
+  timing run is also the wear bit-identity check.
+* ``timing_analytic_stream`` — the identical stream on the default
+  analytic backend: shares the golden fingerprint and shows the event
+  loop's overhead as the ratio between the two cases.
+* ``timing_uflip_grid`` — the 9-point uFLIP pattern x queue-depth
+  campaign through the campaign runner; fingerprinted with the result
+  store's canonical digest, and the sequential 4 KiB point's derived
+  bandwidth is asserted within 2x of the calibrated catalog curve (the
+  first-principles acceptance gate).
+
+Run directly:
+``PYTHONPATH=src python benchmarks/perf/bench_perf_timing.py``
+(``--check`` for CI gating, ``--update`` to refresh the baseline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.campaign import CampaignRunner, ResultStore
+from repro.campaign.registry import get_campaign
+from repro.devices import DEVICE_SPECS, build_device
+from repro.units import KIB, MIB
+from repro.workloads.microbench import BandwidthPoint
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+from benchmarks.perf.common import BenchCase, ftl_fingerprint, main  # noqa: E402
+
+#: The golden end-state digest of the 120-step stream, captured from the
+#: pre-optimization scalar implementation (tests/test_ftl_equivalence.py's
+#: BURST_SCENARIO_FINGERPRINT) — both backends must reproduce it.
+STREAM_FINGERPRINT = (
+    "4f430cfc66eab07145a9e6a43d97548e189de80b403b74700ca0d7ed99e20f6c"
+)
+
+#: Canonical store digest of the uflip campaign grid.
+UFLIP_FINGERPRINT = (
+    "04cfd45083c2c8e3c5e1539f3152afc7242ff13f47b938ae76f9bbc5866ada0b"
+)
+
+STEPS = 120
+BATCH = 96
+SEED = 5
+
+
+def _stream(timing: str):
+    device = build_device("emmc-8gb", scale=1024, seed=SEED, timing=timing)
+    rng = np.random.default_rng(SEED)
+    page = 4 * KIB
+    span = device.logical_capacity // page
+    batches = [
+        rng.integers(0, span, size=BATCH, dtype=np.int64) * page
+        for _ in range(STEPS)
+    ]
+    start = time.perf_counter()
+    for offsets in batches:
+        device.write_many(offsets, page)
+    elapsed = time.perf_counter() - start
+    return elapsed, ftl_fingerprint(device.ftl)
+
+
+def run_event_stream():
+    return _stream("event")
+
+
+def run_analytic_stream():
+    return _stream("analytic")
+
+
+def run_uflip_grid():
+    campaign = get_campaign("uflip")
+    runner = CampaignRunner(campaign, ResultStore(None))
+    start = time.perf_counter()
+    report = runner.run(workers=1)
+    elapsed = time.perf_counter() - start
+    assert report.ran + report.skipped == len(campaign)
+
+    # First-principles gate: the event backend's derived sequential
+    # 4 KiB bandwidth must be within 2x of the calibrated curve.
+    spec = DEVICE_SPECS["emmc-8gb"]
+    calibrated = spec.perf.write_bandwidth(4 * KIB) / MIB
+    for key, point in campaign.keyed_points():
+        if point.pattern != "seq":
+            continue
+        derived = BandwidthPoint.from_dict(runner.store.get(key)["result"]).mib_per_s
+        assert calibrated / 2 <= derived <= calibrated * 2, (
+            f"seq 4KiB derived bandwidth {derived:.1f} MiB/s outside 2x of "
+            f"calibrated {calibrated:.1f} MiB/s (qd={point.queue_depth})"
+        )
+    return elapsed, runner.store.fingerprint()
+
+
+CASES = [
+    BenchCase("timing_event_stream", run_event_stream, STREAM_FINGERPRINT),
+    BenchCase("timing_analytic_stream", run_analytic_stream, STREAM_FINGERPRINT),
+    BenchCase("timing_uflip_grid", run_uflip_grid, UFLIP_FINGERPRINT),
+]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(CASES))

@@ -144,6 +144,18 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
         if seed_ref:
             line += f"  [seed {seed_ref:.3f}s, {seed_ref / elapsed:4.1f}x faster]"
         print(line)
+        # One machine-readable record per case, greppable by CI and
+        # dashboards: BENCH_JSON {"name": ..., "seconds": ..., ...}.
+        # ``ratio`` is current/baseline; the case regresses when it
+        # exceeds ``gate_factor``.
+        print("BENCH_JSON " + json.dumps({
+            "name": case.name,
+            "seconds": round(elapsed, 6),
+            "baseline_seconds": ref,
+            "ratio": round(elapsed / ref, 4) if ref else None,
+            "gate_factor": REGRESSION_FACTOR,
+            "fingerprint_ok": fingerprint == case.expected_fingerprint,
+        }, sort_keys=True))
 
         if fingerprint != case.expected_fingerprint:
             failures.append(f"{case.name}: fingerprint drift — simulation results changed "

@@ -15,6 +15,7 @@ from repro.campaign.spec import CampaignSpec, PointSpec, expand_grid
 from repro.campaign.store import ResultStore
 from repro.core.results import WearOutResult
 from repro.errors import ConfigurationError
+from repro.units import KIB
 
 from repro.workloads.microbench import FIGURE1_BLOCK_SIZES, BandwidthPoint
 
@@ -107,6 +108,29 @@ def _phone_campaign() -> CampaignSpec:
     )
 
 
+#: The uFLIP micro-matrix axes (patterns x queue depths, 4 KiB requests).
+UFLIP_PATTERNS = ("seq", "rand", "stride")
+UFLIP_QUEUE_DEPTHS = (1, 4, 16)
+
+
+def _uflip_campaign() -> CampaignSpec:
+    """uFLIP-style pattern x queue-depth grid on the event timing
+    backend (Bouganim, Jónsson & Bonnet's micro-pattern methodology)."""
+    return expand_grid(
+        "uflip",
+        kind="bandwidth",
+        devices=("emmc-8gb",),
+        patterns=UFLIP_PATTERNS,
+        request_sizes=(4 * KIB,),
+        queue_depths=UFLIP_QUEUE_DEPTHS,
+        seeds=(1,),
+        scale=256,
+        timing="event",
+        description="uFLIP micro-matrix: pattern x queue depth on the "
+        "event-driven timing backend (DESIGN.md §13)",
+    )
+
+
 def _smoke_campaign() -> CampaignSpec:
     """Two fast wear-out points — CI's campaign smoke grid."""
     return expand_grid(
@@ -131,6 +155,7 @@ CAMPAIGNS: Dict[str, CampaignSpec] = {
         _fig4_campaign(),
         _table1_campaign(),
         _phone_campaign(),
+        _uflip_campaign(),
         _smoke_campaign(),
     )
 }
@@ -219,6 +244,43 @@ def _render_table1(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]
     return {"table1_hybrid_wear": table1_rows(result)}
 
 
+def _render_uflip(store: ResultStore, campaign: CampaignSpec) -> Dict[str, str]:
+    """Pattern x queue-depth bandwidth grid, with the calibrated
+    analytic curve alongside for the first-principles comparison."""
+    from repro.devices import DEVICE_SPECS
+    from repro.units import MIB
+
+    records = ordered_records(store, campaign)
+    cell: Dict[tuple, float] = {}
+    for point, record in zip(campaign.points, records):
+        bw = BandwidthPoint.from_dict(record["result"])
+        cell[(point.pattern, point.queue_depth)] = bw.mib_per_s
+    depths = sorted({p.queue_depth for p in campaign.points})
+    patterns = list(dict.fromkeys(p.pattern for p in campaign.points))
+    rows = [
+        [pattern] + [f"{cell[(pattern, qd)]:.1f}" for qd in depths]
+        for pattern in patterns
+    ]
+    table = format_table(
+        ["pattern \\ QD"] + [str(qd) for qd in depths], rows
+    )
+    device_key = campaign.points[0].device
+    spec = DEVICE_SPECS[device_key]
+    request = campaign.points[0].request_bytes
+    calibrated = spec.perf.write_bandwidth(request) / MIB
+    lines = [
+        f"uFLIP micro-matrix: {spec.name}, {request} B synchronous writes,",
+        "event-driven timing backend (MiB/s derived from channel/plane",
+        "simulation; DESIGN.md §13)",
+        "",
+        table,
+        "",
+        f"calibrated analytic curve at {request} B: {calibrated:.1f} MiB/s "
+        f"(peak {spec.perf.peak_write_mib_s:.0f} MiB/s)",
+    ]
+    return {"uflip_micro_matrix": "\n".join(lines)}
+
+
 #: Campaigns with a figure artifact, mapped to their renderer.  Each
 #: renderer returns {artifact stem: text}; `repro figures` writes them
 #: to ``results/<stem>.txt``.
@@ -229,4 +291,5 @@ FIGURES: Dict[str, Callable[[ResultStore, CampaignSpec], Dict[str, str]]] = {
     "fig3": _render_fig3,
     "fig4": _render_fig4,
     "table1": _render_table1,
+    "uflip": _render_uflip,
 }

@@ -38,10 +38,21 @@ def _filesystem_for(spec: PointSpec, device) -> Any:
     return make_filesystem(kind, device)
 
 
+def _build_point_device(spec: PointSpec, seed: int):
+    """Build the point's device, honouring its timing-backend axes."""
+    return build_device(
+        spec.device,
+        scale=spec.scale,
+        seed=seed,
+        timing=spec.timing,
+        queue_depth=spec.queue_depth or None,
+    )
+
+
 def _run_bandwidth(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Figure 1 point: one (device, pattern, request size) bandwidth
     measurement on a fresh device."""
-    device = build_device(spec.device, scale=spec.scale, seed=seed)
+    device = _build_point_device(spec, seed)
     point = measure_bandwidth(
         device, spec.request_bytes, pattern=spec.pattern, seed=seed
     )
@@ -60,7 +71,7 @@ def _run_wearout(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]
     bit-identical to cold ones (DESIGN.md §10), so store fingerprints
     do not depend on whether, or how much of, the cache was hit.
     """
-    device = build_device(spec.device, scale=spec.scale, seed=seed)
+    device = _build_point_device(spec, seed)
     fs = _filesystem_for(spec, device)
     workload = FileRewriteWorkload(
         fs,
@@ -70,6 +81,11 @@ def _run_wearout(spec: PointSpec, seed: int, checkpoint: Optional[Dict[str, Any]
         seed=seed,
     )
     experiment = WearOutExperiment(device, workload, filesystem=fs)
+    if spec.timing != "analytic":
+        # Snapshots don't capture the event backend's clock/reservations,
+        # so a warm start would change the time observables (never the
+        # wear); event-timed points always run cold.
+        checkpoint = None
     if checkpoint is not None:
         manager = CheckpointManager(checkpoint["dir"])
         key = warm_start_key(spec.to_dict(), seed)

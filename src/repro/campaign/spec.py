@@ -45,6 +45,11 @@ class PointSpec:
         hours: Simulated phone time for phone points.
         label: Display label for figure rendering (e.g. Figure 3's
             series names); part of the point's identity.
+        timing: Device timing backend — "analytic" (default) or "event"
+            (DESIGN.md §13).  Wear results are identical either way;
+            durations and derived bandwidth differ.
+        queue_depth: NCQ depth for the event backend; 0 means the
+            backend default.
     """
 
     kind: str
@@ -59,24 +64,41 @@ class PointSpec:
     strategy: Optional[str] = None
     hours: float = 24.0
     label: str = ""
+    timing: str = "analytic"
+    queue_depth: int = 0
 
     def __post_init__(self):
         if self.kind not in POINT_KINDS:
             raise ConfigurationError(
                 f"unknown point kind {self.kind!r}; available: {', '.join(POINT_KINDS)}"
             )
-        if self.pattern not in ("rand", "seq"):
+        if self.pattern not in ("rand", "seq", "stride"):
             raise ConfigurationError(f"unknown pattern {self.pattern!r}")
         if self.scale < 1:
             raise ConfigurationError("scale must be >= 1")
+        if self.timing not in ("analytic", "event"):
+            raise ConfigurationError(f"unknown timing backend {self.timing!r}")
+        if self.queue_depth < 0:
+            raise ConfigurationError("queue_depth must be >= 0")
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical plain-dict form (the content that gets hashed)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Canonical plain-dict form (the content that gets hashed).
+
+        Fields added after PR 2 are omitted at their default values, so
+        every pre-existing point's canonical JSON — and therefore its
+        content key, derived seed, and any pinned store fingerprint —
+        is unchanged by the new axes.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if data["timing"] == "analytic":
+            del data["timing"]
+        if data["queue_depth"] == 0:
+            del data["queue_depth"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "PointSpec":
-        return cls(**{f.name: data[f.name] for f in fields(cls)})
+        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data})
 
     @property
     def display(self) -> str:
@@ -89,6 +111,10 @@ class PointSpec:
             parts.append(f"{self.request_bytes}B")
         if self.strategy:
             parts.append(self.strategy)
+        if self.timing != "analytic":
+            parts.append(self.timing)
+            if self.queue_depth:
+                parts.append(f"qd{self.queue_depth}")
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
         return ":".join(str(p) for p in parts)
@@ -161,6 +187,7 @@ def expand_grid(
     request_sizes: Sequence[int] = (4 * KIB,),
     filesystems: Sequence[Optional[str]] = (None,),
     strategies: Sequence[Optional[str]] = (None,),
+    queue_depths: Sequence[int] = (0,),
     seeds: Iterable[Optional[int]] = (None,),
     base_seed: int = DEFAULT_SEED,
     description: str = "",
@@ -180,11 +207,12 @@ def expand_grid(
             request_bytes=size,
             filesystem=fs,
             strategy=strategy,
+            queue_depth=qd,
             seed=seed,
             **fixed,
         )
-        for device, pattern, size, fs, strategy, seed in itertools.product(
-            devices, patterns, request_sizes, filesystems, strategies, seeds
+        for device, pattern, size, fs, strategy, qd, seed in itertools.product(
+            devices, patterns, request_sizes, filesystems, strategies, queue_depths, seeds
         )
     ]
     return CampaignSpec(

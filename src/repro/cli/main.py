@@ -37,9 +37,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     bw = sub.add_parser("bandwidth", help="Figure 1 sweep on one device")
     bw.add_argument("device", choices=sorted(DEVICE_SPECS), help="catalog key")
-    bw.add_argument("--pattern", choices=["seq", "rand"], default="seq")
+    bw.add_argument("--pattern", choices=["seq", "rand", "stride"], default="seq")
     bw.add_argument("--scale", type=int, default=128, help="capacity scale factor")
     bw.add_argument("--seed", type=int, default=1)
+
+    timing = sub.add_parser(
+        "timing",
+        help="derived vs. calibrated bandwidth (event timing backend)",
+        description="Sweeps the Figure 1 request sizes twice — once on the "
+        "event-driven timing backend (channels x planes, NCQ queue depth, "
+        "coalescing write cache; DESIGN.md §13) and once on the calibrated "
+        "analytic curve — and prints both side by side.  Wear accounting "
+        "is bit-identical between the backends; only the durations differ.",
+    )
+    timing.add_argument("device", choices=sorted(DEVICE_SPECS), help="catalog key")
+    timing.add_argument("--pattern", choices=["seq", "rand", "stride"], default="seq")
+    timing.add_argument("--queue-depth", type=int, default=None, help="NCQ depth (default 8)")
+    timing.add_argument("--scale", type=int, default=128, help="capacity scale factor")
+    timing.add_argument("--seed", type=int, default=1)
 
     wear = sub.add_parser("wearout", help="wear-out experiment (§4.3)")
     wear.add_argument("device", choices=sorted(DEVICE_SPECS), help="catalog key")
@@ -248,6 +263,50 @@ def cmd_bandwidth(args: argparse.Namespace) -> int:
         lambda: spec.build(scale=args.scale, seed=args.seed), args.pattern, seed=args.seed
     )
     print(bandwidth_table(points))
+    return 0
+
+
+def cmd_timing(args: argparse.Namespace) -> int:
+    spec = DEVICE_SPECS[args.device]
+    event_points = sweep_block_sizes(
+        lambda: spec.build(
+            scale=args.scale, seed=args.seed,
+            timing="event", queue_depth=args.queue_depth,
+        ),
+        args.pattern,
+        seed=args.seed,
+    )
+    analytic_points = sweep_block_sizes(
+        lambda: spec.build(scale=args.scale, seed=args.seed),
+        args.pattern,
+        seed=args.seed,
+    )
+    rows = []
+    for event, analytic in zip(event_points, analytic_points):
+        size = event.request_bytes
+        label = f"{size // 1024} KiB" if size >= 1024 else f"{size} B"
+        ratio = (
+            max(event.mib_per_s, analytic.mib_per_s)
+            / min(event.mib_per_s, analytic.mib_per_s)
+            if min(event.mib_per_s, analytic.mib_per_s) > 0
+            else float("inf")
+        )
+        rows.append([
+            label,
+            f"{event.mib_per_s:.1f}",
+            f"{analytic.mib_per_s:.1f}",
+            f"{ratio:.2f}x",
+        ])
+    qd = args.queue_depth if args.queue_depth is not None else 8
+    print(
+        f"{spec.name}: {args.pattern} writes, queue depth {qd} — "
+        "event-derived vs calibrated bandwidth (MiB/s)"
+    )
+    print(format_table(["request", "event", "analytic", "ratio"], rows))
+    print(
+        "(event = simulated channels/planes/cache, DESIGN.md §13; "
+        "analytic = Figure 1's calibrated curve; wear is bit-identical)"
+    )
     return 0
 
 
@@ -475,6 +534,7 @@ _COMMANDS = {
     "devices": cmd_devices,
     "estimate": cmd_estimate,
     "bandwidth": cmd_bandwidth,
+    "timing": cmd_timing,
     "wearout": cmd_wearout,
     "phone": cmd_phone,
     "campaign": cmd_campaign,

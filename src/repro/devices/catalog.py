@@ -17,7 +17,7 @@ preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Type
 
 from repro.devices.emmc import EmmcDevice
@@ -32,7 +32,10 @@ from repro.flash.package import FlashPackage
 from repro.ftl.ftl import PageMappedFTL
 from repro.ftl.hybrid import HybridFTL
 from repro.rng import SeedLike
+from repro.timing.backend import EventTimingBackend, derive_timing
 from repro.units import GB, GIB, KIB, MIB
+
+TIMING_BACKENDS = ("analytic", "event")
 
 
 @dataclass(frozen=True)
@@ -82,7 +85,15 @@ class DeviceSpec:
     indicator_supported: bool = True
     default_fs: str = "ext4"
 
-    def build(self, scale: int = 1, seed: SeedLike = None, **ftl_kwargs) -> BlockDevice:
+    def build(
+        self,
+        scale: int = 1,
+        seed: SeedLike = None,
+        timing: str = "analytic",
+        queue_depth: Optional[int] = None,
+        cache_pages: Optional[int] = None,
+        **ftl_kwargs,
+    ) -> BlockDevice:
         """Instantiate the device, optionally capacity-scaled by ``scale``.
 
         The effective scale is clamped so the scaled media keeps at
@@ -90,9 +101,20 @@ class DeviceSpec:
         far that garbage-collection overhead stops resembling the full
         device, and the FTL's fixed block reserve would dominate thin
         over-provisioning.
+
+        Args:
+            timing: ``"analytic"`` (default, closed-form durations) or
+                ``"event"`` (simulated channels/planes/queue depth; see
+                DESIGN.md §13).  Wear accounting is identical either way.
+            queue_depth: NCQ depth for the event backend (default 8).
+            cache_pages: Write-cache capacity for the event backend.
         """
         if scale < 1:
             raise ConfigurationError("scale must be >= 1")
+        if timing not in TIMING_BACKENDS:
+            raise ConfigurationError(
+                f"unknown timing backend {timing!r}; available: {', '.join(TIMING_BACKENDS)}"
+            )
         scale = max(1, min(scale, self.raw_bytes // (64 * MIB)))
         logical = self.advertised_bytes // scale
         main_raw = self.raw_bytes // scale
@@ -133,12 +155,26 @@ class DeviceSpec:
                 seed=seed,
                 **ftl_kwargs,
             )
+        backend = None
+        if timing == "event":
+            tspec = derive_timing(
+                perf=self.perf,
+                channels=self.parallel_units,
+                page_size=page,
+                line_pages=self.mapping_unit_pages,
+            )
+            if queue_depth is not None:
+                tspec = tspec.with_queue_depth(queue_depth)
+            if cache_pages is not None:
+                tspec = replace(tspec, cache_pages=int(cache_pages))
+            backend = EventTimingBackend(tspec)
         return self.device_cls(
             name=self.name,
             ftl=ftl,
             perf=self.perf,
             indicator_supported=self.indicator_supported,
             scale=scale,
+            timing=backend,
         )
 
 
@@ -287,7 +323,15 @@ DEVICE_SPECS: Dict[str, DeviceSpec] = {
 }
 
 
-def build_device(key: str, scale: int = 1, seed: SeedLike = None, **ftl_kwargs) -> BlockDevice:
+def build_device(
+    key: str,
+    scale: int = 1,
+    seed: SeedLike = None,
+    timing: str = "analytic",
+    queue_depth: Optional[int] = None,
+    cache_pages: Optional[int] = None,
+    **ftl_kwargs,
+) -> BlockDevice:
     """Build a catalog device by key (e.g. ``"emmc-8gb"``).
 
     Raises :class:`ConfigurationError` for unknown keys; ``sorted(DEVICE_SPECS)``
@@ -299,4 +343,11 @@ def build_device(key: str, scale: int = 1, seed: SeedLike = None, **ftl_kwargs) 
         raise ConfigurationError(
             f"unknown device {key!r}; available: {', '.join(sorted(DEVICE_SPECS))}"
         ) from None
-    return spec.build(scale=scale, seed=seed, **ftl_kwargs)
+    return spec.build(
+        scale=scale,
+        seed=seed,
+        timing=timing,
+        queue_depth=queue_depth,
+        cache_pages=cache_pages,
+        **ftl_kwargs,
+    )

@@ -8,7 +8,7 @@ seconds; the experiment engine advances its virtual clock by that much.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.errors import DeviceWornOut, ReadOnlyError
 from repro.ftl.burst import BurstSegment
 from repro.ftl.ftl import PageMappedFTL, _ragged_ranges
 from repro.ftl.hybrid import HybridFTL
+
+if TYPE_CHECKING:
+    from repro.timing.backend import EventTimingBackend
 
 AnyFtl = Union[PageMappedFTL, HybridFTL]
 
@@ -33,6 +36,11 @@ class BlockDevice:
             does not report reliable wear indicators (§4.4's BLU phones).
         scale: Capacity scale factor this instance was built at; volume
             reports from experiments multiply by it (DESIGN.md §6).
+        timing: Optional event-driven timing backend (DESIGN.md §13).
+            When set, request durations come from simulating channels,
+            planes, and queue depth instead of the analytic ``perf``
+            curve; wear accounting is unaffected — the FTL calls are
+            identical under both backends.
     """
 
     def __init__(
@@ -42,12 +50,14 @@ class BlockDevice:
         perf: PerformanceModel,
         indicator_supported: bool = True,
         scale: int = 1,
+        timing: Optional["EventTimingBackend"] = None,
     ):
         self.name = name
         self.ftl = ftl
         self.perf = perf
         self.indicator_supported = indicator_supported
         self.scale = scale
+        self.timing = timing
         self.host_bytes_written = 0
         self.host_bytes_read = 0
         self.busy_seconds = 0.0
@@ -89,33 +99,48 @@ class BlockDevice:
         if self.read_only:
             raise ReadOnlyError(f"{self.name} is read-only (worn out)")
         before = self.ftl.media_pages_programmed
+        erases_before = self._total_erases() if self.timing is not None else 0
+        if (
+            offsets.size > 1
+            and int(offsets[1]) - int(offsets[0]) == request_bytes
+            and (np.diff(offsets) == request_bytes).all()
+        ):
+            # Write combining: the device's buffer merges back-to-back
+            # sequential sync writes into full mapping units, which is
+            # why Figure 1a's sequential small writes escape the RMW
+            # penalty that random ones (Figure 1b) pay.  Both timing
+            # backends see the combined stream.
+            eff_offsets = offsets[:1]
+            eff_request_bytes = request_bytes * int(offsets.size)
+        else:
+            eff_offsets = offsets
+            eff_request_bytes = request_bytes
         try:
-            if (
-                offsets.size > 1
-                and int(offsets[1]) - int(offsets[0]) == request_bytes
-                and (np.diff(offsets) == request_bytes).all()
-            ):
-                # Write combining: the device's buffer merges back-to-back
-                # sequential sync writes into full mapping units, which is
-                # why Figure 1a's sequential small writes escape the RMW
-                # penalty that random ones (Figure 1b) pay.
-                self.ftl.write_requests(
-                    offsets[:1], request_bytes * int(offsets.size)
-                )
-            else:
-                self.ftl.write_requests(offsets, request_bytes)
+            self.ftl.write_requests(eff_offsets, eff_request_bytes)
         except DeviceWornOut:
             self.failed = True
             raise
         media_pages = self.ftl.media_pages_programmed - before
         total_bytes = int(offsets.size) * request_bytes
-        host_pages = max(1, -(-total_bytes // self.page_size))
-        duration = self.perf.write_duration(
-            total_bytes, request_bytes, media_ratio=media_pages / host_pages
-        )
+        if self.timing is not None:
+            duration = self.timing.time_writes(
+                eff_offsets,
+                eff_request_bytes,
+                media_pages=media_pages,
+                erases=self._total_erases() - erases_before,
+            )
+        else:
+            host_pages = max(1, -(-total_bytes // self.page_size))
+            duration = self.perf.write_duration(
+                total_bytes, request_bytes, media_ratio=media_pages / host_pages
+            )
         self.host_bytes_written += total_bytes
         self.busy_seconds += duration
         return duration
+
+    def _total_erases(self) -> int:
+        """Block erases across every flash package (timing accounting)."""
+        return sum(pkg.counters.block_erases for pkg in self._packages())
 
     def write_burst(self, groups, budget):
         """Fused write path covering many workload steps (DESIGN.md §11).
@@ -139,6 +164,12 @@ class BlockDevice:
         """
         ftl = self.ftl
         if type(ftl) is not PageMappedFTL or self.read_only:
+            return None
+        if self.timing is not None:
+            # The event backend times each step's actual request stream;
+            # refuse the fused path so callers replay per-step calls
+            # (wear stays bit-identical either way — the fallback is the
+            # exact scalar path).
             return None
         stop_erases = None
         if budget is not None:
@@ -288,7 +319,10 @@ class BlockDevice:
             return 0.0
         self.ftl.read_requests(offsets, request_bytes)
         total_bytes = int(offsets.size) * request_bytes
-        duration = self.perf.read_duration(total_bytes, request_bytes)
+        if self.timing is not None:
+            duration = self.timing.time_reads(offsets, request_bytes)
+        else:
+            duration = self.perf.read_duration(total_bytes, request_bytes)
         self.host_bytes_read += total_bytes
         self.busy_seconds += duration
         return duration

@@ -1,0 +1,39 @@
+"""Event-driven device timing (DESIGN.md §13).
+
+Opt-in backend that derives request durations by simulating channels,
+planes, queue depths, and a coalescing write cache on a deterministic
+integer-nanosecond event loop — instead of the default analytic
+fixed-cost model.  Select it per device with
+``build_device(key, timing="event", queue_depth=...)``; wear accounting
+is bit-identical between backends by construction.
+"""
+
+from repro.timing.backend import (
+    DEFAULT_CACHE_PAGES,
+    DEFAULT_PLANES_PER_CHANNEL,
+    DEFAULT_QUEUE_DEPTH,
+    EventTimingBackend,
+    TimingSpec,
+    derive_timing,
+)
+from repro.timing.cache import WriteCache
+from repro.timing.channel import Channel, Plane
+from repro.timing.events import EventLoop
+from repro.timing.frontend import FrontendScheduler, Request
+from repro.timing.nand import NANDScheduler
+
+__all__ = [
+    "DEFAULT_CACHE_PAGES",
+    "DEFAULT_PLANES_PER_CHANNEL",
+    "DEFAULT_QUEUE_DEPTH",
+    "Channel",
+    "EventLoop",
+    "EventTimingBackend",
+    "FrontendScheduler",
+    "NANDScheduler",
+    "Plane",
+    "Request",
+    "TimingSpec",
+    "WriteCache",
+    "derive_timing",
+]

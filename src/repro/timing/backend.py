@@ -1,0 +1,251 @@
+"""Event-driven timing backend behind the BlockDevice interface.
+
+The analytic path charges each request batch a closed-form duration
+from the :class:`~repro.devices.perf.PerformanceModel` hyperbola.  This
+backend instead *simulates* the batch: every request becomes a tagged
+NCQ command, NAND work is dispatched to channels × planes with
+per-op latencies, and the duration is the integer-nanosecond span the
+deterministic event loop takes to drain the batch.
+
+Wear-equivalence contract (DESIGN.md §13): the backend never touches
+the FTL.  It receives the FTL's *results* — the media-page and erase
+deltas the wear path already produced — and only decides how long that
+exact amount of work takes.  P/E counts, write amplification, wear
+indicators, and result fingerprints are therefore bit-identical to the
+analytic backend by construction; the equivalence suite enforces it.
+
+Calibration (:func:`derive_timing`) inverts the analytic model so both
+backends describe the same silicon: at full parallelism the planes must
+sustain the catalog's peak bandwidth, and the per-request command
+overhead equals the hyperbola's fixed cost ``half_size / peak``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.perf import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.timing.cache import WriteCache
+from repro.timing.events import EventLoop
+from repro.timing.frontend import FrontendScheduler, Request
+from repro.timing.nand import NANDScheduler
+from repro.units import MIB
+
+NS_PER_S = 1_000_000_000
+
+DEFAULT_QUEUE_DEPTH = 8
+DEFAULT_PLANES_PER_CHANNEL = 2
+DEFAULT_CACHE_PAGES = 256
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """Event-backend parameters for one device.
+
+    Attributes:
+        channels: Independent flash channels (catalog parallel units).
+        planes_per_channel: Planes sharing each channel bus.
+        page_size: Flash page size in bytes.
+        line_pages: Mapping-line size in pages (write-cache coalescing
+            granularity).
+        program_ns / read_ns / erase_ns: Per-op plane latencies.
+        transfer_ns: Per-page DMA transfer on a channel bus.
+        command_ns: Per-request host command overhead.
+        queue_depth: NCQ depth of the frontend scheduler.
+        cache_pages: Write-cache staging capacity in pages.
+    """
+
+    channels: int
+    planes_per_channel: int
+    page_size: int
+    line_pages: int
+    program_ns: int
+    read_ns: int
+    erase_ns: int
+    transfer_ns: int
+    command_ns: int
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    cache_pages: int = DEFAULT_CACHE_PAGES
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.planes_per_channel <= 0:
+            raise ConfigurationError("channels and planes_per_channel must be positive")
+        if self.page_size <= 0 or self.line_pages <= 0:
+            raise ConfigurationError("page_size and line_pages must be positive")
+        if self.queue_depth <= 0:
+            raise ConfigurationError("queue_depth must be positive")
+        if self.cache_pages <= 0:
+            raise ConfigurationError("cache_pages must be positive")
+        for label in ("program_ns", "read_ns", "erase_ns", "transfer_ns", "command_ns"):
+            if getattr(self, label) < 0:
+                raise ConfigurationError(f"{label} must be >= 0")
+
+    def with_queue_depth(self, queue_depth: int) -> "TimingSpec":
+        return replace(self, queue_depth=int(queue_depth))
+
+
+def derive_timing(
+    perf: PerformanceModel,
+    channels: int,
+    page_size: int,
+    line_pages: int,
+    planes_per_channel: int = DEFAULT_PLANES_PER_CHANNEL,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    cache_pages: int = DEFAULT_CACHE_PAGES,
+) -> TimingSpec:
+    """Derive event latencies from a calibrated analytic model.
+
+    Inversion rules:
+
+    * Full-parallelism write bandwidth is plane-limited:
+      ``channels * planes * page_size / program_ns == peak`` fixes the
+      page program latency.
+    * The analytic request time ``(s + half) / peak`` has fixed cost
+      ``half / peak`` — that becomes the per-command overhead.
+    * Reads are derived the same way from the read curve.
+    * Erases are ~8 page programs (typical NAND block erase vs. page
+      program), and the channel DMA is provisioned so the bus never
+      caps its planes (``planes * transfer_ns <= program_ns / 4``).
+    """
+    peak_write = perf.peak_write_mib_s * MIB
+    peak_read = perf.peak_read_mib_s * MIB
+    planes = channels * planes_per_channel
+    program_ns = max(1, round(planes * page_size * NS_PER_S / peak_write))
+    read_ns = max(1, round(planes * page_size * NS_PER_S / peak_read))
+    return TimingSpec(
+        channels=channels,
+        planes_per_channel=planes_per_channel,
+        page_size=page_size,
+        line_pages=line_pages,
+        program_ns=program_ns,
+        read_ns=read_ns,
+        erase_ns=8 * program_ns,
+        transfer_ns=max(1, program_ns // (planes_per_channel * 4)),
+        command_ns=max(1, round(perf.write_half_size * NS_PER_S / peak_write)),
+        queue_depth=queue_depth,
+        cache_pages=cache_pages,
+    )
+
+
+class EventTimingBackend:
+    """Times request batches by simulating them on the event loop.
+
+    One backend instance lives per device and keeps its clock and
+    channel reservations across calls, so back-to-back batches pipeline
+    exactly as the hardware would.  All state here is timing-only —
+    nothing feeds back into the FTL or wear accounting.
+    """
+
+    def __init__(self, spec: TimingSpec):
+        self.spec = spec
+        self.loop = EventLoop()
+        self.nand = NANDScheduler(
+            num_channels=spec.channels,
+            planes_per_channel=spec.planes_per_channel,
+            program_ns=spec.program_ns,
+            read_ns=spec.read_ns,
+            erase_ns=spec.erase_ns,
+            transfer_ns=spec.transfer_ns,
+        )
+        self.cache = WriteCache(capacity_pages=spec.cache_pages, line_pages=spec.line_pages)
+        self.frontend = FrontendScheduler(
+            loop=self.loop,
+            nand=self.nand,
+            cache=self.cache,
+            queue_depth=spec.queue_depth,
+            command_ns=spec.command_ns,
+        )
+
+    # ------------------------------------------------------------------
+    # BlockDevice hooks
+    # ------------------------------------------------------------------
+
+    def time_writes(
+        self,
+        offsets: np.ndarray,
+        request_bytes: int,
+        media_pages: int,
+        erases: int = 0,
+    ) -> float:
+        """Simulate a synchronous write batch; returns seconds.
+
+        Args:
+            offsets: The request offsets exactly as handed to the FTL
+                (write combining already applied, so both backends see
+                the same request stream).
+            request_bytes: Size of each request.
+            media_pages: The FTL-reported page-program delta for this
+                batch — ground truth including RMW, GC, and
+                wear-leveling writes.
+            erases: The block-erase delta for this batch.
+        """
+        requests = self._build_writes(offsets, request_bytes, media_pages, erases)
+        return self._run(requests)
+
+    def time_reads(self, offsets: np.ndarray, request_bytes: int) -> float:
+        """Simulate a read batch; returns seconds."""
+        page = self.spec.page_size
+        requests = [
+            Request(
+                offset=int(off),
+                nbytes=request_bytes,
+                is_write=False,
+                host_pages=self._span_pages(int(off), request_bytes, page),
+            )
+            for off in np.asarray(offsets, dtype=np.int64)
+        ]
+        return self._run(requests)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _span_pages(offset: int, nbytes: int, page: int) -> int:
+        return (offset + nbytes - 1) // page - offset // page + 1
+
+    def _build_writes(self, offsets, request_bytes, media_pages, erases):
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = int(offsets.size)
+        if n == 0:
+            return []
+        page = self.spec.page_size
+        host_pages = [self._span_pages(int(off), request_bytes, page) for off in offsets]
+        # Distribute the FTL's media work across the batch: each request
+        # gets an even share of the programs (remainder to the earliest
+        # requests) and RMW reads cover any amplification beyond its own
+        # host payload.  Erases spread the same way.
+        base, rem = divmod(int(media_pages), n)
+        erase_base, erase_rem = divmod(int(erases), n)
+        requests = []
+        for i, off in enumerate(offsets):
+            programs = base + (1 if i < rem else 0)
+            requests.append(
+                Request(
+                    offset=int(off),
+                    nbytes=request_bytes,
+                    is_write=True,
+                    host_pages=host_pages[i],
+                    program_pages=programs,
+                    copyback_pages=max(0, programs - host_pages[i]),
+                    erases=erase_base + (1 if i < erase_rem else 0),
+                )
+            )
+        return requests
+
+    def _run(self, requests) -> float:
+        if not requests:
+            return 0.0
+        start_ns = self.loop.now_ns
+        end_ns = self.frontend.run_batch(requests)
+        return (end_ns - start_ns) / NS_PER_S
+
+    def bandwidth_mib_s(self, total_bytes: int, seconds: float) -> float:
+        """Convenience for reporting derived bandwidth."""
+        if seconds <= 0.0:
+            return 0.0
+        return total_bytes / seconds / MIB

@@ -1,0 +1,64 @@
+"""Coalescing write cache.
+
+The device's write buffer stages incoming host pages and hands the NAND
+scheduler *line-sized program groups* — pages that belong to the same
+mapping line coalesce into one multi-plane program on a single channel.
+This is the timing-side mirror of the write combining the FTL already
+performs for wear (``BlockDevice.write_many``): the wear path decides
+*how many* pages get programmed; the cache only decides how those
+programs group onto channels and planes.
+
+Capacity matters for pipelining: a request larger than the cache is
+admitted in waves, and each wave's transfers start only after the
+previous wave has fully drained to the NAND — a small cache therefore
+stalls the host DMA and shows up as lost bandwidth, which is exactly
+the scenario axis the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class WriteCache:
+    """Plans how a request's program pages group into flush waves.
+
+    Args:
+        capacity_pages: Staging capacity; a request's pages are split
+            into waves of at most this many pages.
+        line_pages: Mapping-line size in pages; pages within one line
+            coalesce into a single program group.
+    """
+
+    def __init__(self, capacity_pages: int, line_pages: int):
+        if capacity_pages <= 0:
+            raise ConfigurationError("capacity_pages must be positive")
+        if line_pages <= 0:
+            raise ConfigurationError("line_pages must be positive")
+        self.capacity_pages = int(capacity_pages)
+        self.line_pages = int(line_pages)
+
+    def plan(self, pages: int) -> List[List[int]]:
+        """Split ``pages`` program pages into waves of program groups.
+
+        Returns a list of waves; each wave is a list of group sizes
+        (each group <= ``line_pages`` pages, destined for one channel).
+        An empty request plans to nothing.
+        """
+        if pages <= 0:
+            return []
+        waves: List[List[int]] = []
+        remaining = pages
+        while remaining > 0:
+            wave_pages = min(remaining, self.capacity_pages)
+            groups: List[int] = []
+            left = wave_pages
+            while left > 0:
+                group = min(left, self.line_pages)
+                groups.append(group)
+                left -= group
+            waves.append(groups)
+            remaining -= wave_pages
+        return waves

@@ -1,0 +1,65 @@
+"""DMA-modeled flash channels.
+
+A :class:`Channel` is one shared command/data bus plus a set of
+:class:`Plane` execution units.  Timing uses greedy integer-nanosecond
+reservations: an op asks for the bus (serialized DMA transfers) and/or
+a plane (program/read/erase cells busy for the op latency) no earlier
+than its ready time, and the resource's free register advances.  The
+event loop only sees completion times; resource contention is resolved
+here, deterministically, with no floats.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Plane:
+    """One NAND plane: busy until ``free_ns``."""
+
+    __slots__ = ("free_ns",)
+
+    def __init__(self) -> None:
+        self.free_ns: int = 0
+
+    def reserve(self, ready_ns: int, duration_ns: int) -> Tuple[int, int]:
+        """Occupy the plane for ``duration_ns`` starting no earlier than
+        ``ready_ns``; returns the (start, end) of the reservation."""
+        start = ready_ns if ready_ns > self.free_ns else self.free_ns
+        end = start + duration_ns
+        self.free_ns = end
+        return start, end
+
+
+class Channel:
+    """One flash channel: a DMA bus shared by ``num_planes`` planes."""
+
+    __slots__ = ("index", "planes", "bus_free_ns")
+
+    def __init__(self, index: int, num_planes: int):
+        if num_planes <= 0:
+            raise ConfigurationError("channel needs at least one plane")
+        self.index = index
+        self.planes: List[Plane] = [Plane() for _ in range(num_planes)]
+        self.bus_free_ns: int = 0
+
+    @property
+    def num_planes(self) -> int:
+        return len(self.planes)
+
+    def reserve_bus(self, ready_ns: int, duration_ns: int) -> Tuple[int, int]:
+        """Serialize a DMA transfer on the channel bus."""
+        start = ready_ns if ready_ns > self.bus_free_ns else self.bus_free_ns
+        end = start + duration_ns
+        self.bus_free_ns = end
+        return start, end
+
+    def busy_until(self) -> int:
+        """Latest reservation end across the bus and every plane."""
+        latest = self.bus_free_ns
+        for plane in self.planes:
+            if plane.free_ns > latest:
+                latest = plane.free_ns
+        return latest

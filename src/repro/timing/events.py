@@ -1,0 +1,64 @@
+"""Deterministic discrete-event loop.
+
+The timing backend's clock is an integer nanosecond counter advanced
+only by popping events off a binary heap — no wall-clock reads, no
+floats in the ordering path.  Events scheduled for the same nanosecond
+fire in schedule order (a monotonically increasing sequence number
+breaks ties), so simultaneous completions — common with zero-latency
+test configurations and with symmetric planes — retire in a
+reproducible order and every derived duration is bit-stable across
+runs, platforms, and Python versions (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class EventLoop:
+    """Minimal deterministic event loop over an integer-ns clock.
+
+    Events are ``(fire_time_ns, sequence, callback)`` heap entries; the
+    sequence number makes the ordering total, so two events at the same
+    nanosecond always fire in the order they were scheduled.
+    """
+
+    __slots__ = ("now_ns", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self.now_ns: int = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at absolute time ``time_ns``."""
+        time_ns = int(time_ns)
+        if time_ns < self.now_ns:
+            raise ConfigurationError(
+                f"cannot schedule an event in the past ({time_ns} < now {self.now_ns})"
+            )
+        heapq.heappush(self._heap, (time_ns, self._seq, callback))
+        self._seq += 1
+
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay_ns`` (>= 0) nanoseconds."""
+        if delay_ns < 0:
+            raise ConfigurationError("delay_ns must be >= 0")
+        self.schedule_at(self.now_ns + int(delay_ns), callback)
+
+    def run(self) -> int:
+        """Fire every pending event (including ones scheduled while
+        running) in (time, schedule-order) sequence; returns the clock
+        after the last event."""
+        heap = self._heap
+        while heap:
+            time_ns, _, callback = heapq.heappop(heap)
+            self.now_ns = time_ns
+            callback()
+        return self.now_ns

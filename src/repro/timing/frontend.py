@@ -1,0 +1,187 @@
+"""NCQ-style frontend scheduler with hazard handling.
+
+The host submits a batch of tagged requests; the frontend keeps at most
+``queue_depth`` of them in flight.  Admission is NCQ-like: the queue is
+scanned in submission order and a request may issue out of order **only
+past requests it does not conflict with** — two requests conflict when
+their logical byte ranges overlap and at least one is a write, which
+covers all three hazards (RAW, WAR, WAW).  Conflicting requests
+therefore always execute in submission order; independent ones may
+overlap and reorder freely, which is where queue depth buys bandwidth.
+
+At ``queue_depth=1`` exactly one request is ever in flight, so the
+batch degenerates to the serial order the analytic backend charges —
+the equivalence tests pin this.
+
+Issuing a request reserves NAND resources greedily (see
+:mod:`repro.timing.nand`) and schedules a single completion event at
+the finish time; completions free queue slots and trigger the next
+admission scan through the deterministic event loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.timing.cache import WriteCache
+from repro.timing.events import EventLoop
+from repro.timing.nand import NANDScheduler
+
+
+class Request:
+    """One tagged host command.
+
+    Attributes:
+        offset / nbytes: Logical byte range (hazard detection).
+        is_write: Writes conflict with everything overlapping; reads
+            only conflict with overlapping writes.
+        host_pages: Pages DMA-transferred over the host interface.
+        program_pages: Media pages this request programs (the FTL's
+            ground truth, including RMW/GC/wear-leveling shares).
+        copyback_pages: FTL-internal reads feeding those programs.
+        erases: Block erases charged to this request.
+        completion_ns: Set when the completion event fires.
+    """
+
+    __slots__ = (
+        "offset",
+        "nbytes",
+        "is_write",
+        "host_pages",
+        "program_pages",
+        "copyback_pages",
+        "erases",
+        "completion_ns",
+    )
+
+    def __init__(
+        self,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+        host_pages: int,
+        program_pages: int = 0,
+        copyback_pages: int = 0,
+        erases: int = 0,
+    ):
+        self.offset = int(offset)
+        self.nbytes = int(nbytes)
+        self.is_write = is_write
+        self.host_pages = int(host_pages)
+        self.program_pages = int(program_pages)
+        self.copyback_pages = int(copyback_pages)
+        self.erases = int(erases)
+        self.completion_ns: Optional[int] = None
+
+    def conflicts_with(self, other: "Request") -> bool:
+        """RAW/WAR/WAW hazard: overlapping ranges, at least one write."""
+        if not (self.is_write or other.is_write):
+            return False
+        return self.offset < other.offset + other.nbytes and other.offset < self.offset + self.nbytes
+
+
+class FrontendScheduler:
+    """Admits requests NCQ-style and drives them through the NAND."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        nand: NANDScheduler,
+        cache: WriteCache,
+        queue_depth: int,
+        command_ns: int,
+    ):
+        if queue_depth <= 0:
+            raise ConfigurationError("queue_depth must be positive")
+        if command_ns < 0:
+            raise ConfigurationError("command_ns must be >= 0")
+        self.loop = loop
+        self.nand = nand
+        self.cache = cache
+        self.queue_depth = int(queue_depth)
+        self.command_ns = int(command_ns)
+        self._pending: List[Request] = []
+        self._inflight: List[Request] = []
+        self.completion_order: List[int] = []
+        self._tags = {}
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def run_batch(self, requests: List[Request]) -> int:
+        """Execute a submission-ordered batch to completion.
+
+        Returns the event-loop time after the last completion.  The
+        batch starts at the loop's current time; resources left busy by
+        a previous batch are honoured by the greedy reservations.
+        """
+        if not requests:
+            return self.loop.now_ns
+        self._pending = list(requests)
+        self._inflight = []
+        self._tags = {id(req): tag for tag, req in enumerate(requests)}
+        self._admit()
+        end_ns = self.loop.run()
+        if self._pending or self._inflight:
+            raise AssertionError("event loop drained with requests outstanding")
+        return end_ns
+
+    # ------------------------------------------------------------------
+    # NCQ admission
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        """Scan the queue in order; issue every request that fits the
+        queue depth and conflicts with nothing ahead of it."""
+        issued_any = True
+        while issued_any and self._pending and len(self._inflight) < self.queue_depth:
+            issued_any = False
+            barrier: List[Request] = []
+            for i, candidate in enumerate(self._pending):
+                blocked = any(candidate.conflicts_with(r) for r in self._inflight) or any(
+                    candidate.conflicts_with(r) for r in barrier
+                )
+                if not blocked:
+                    del self._pending[i]
+                    self._issue(candidate)
+                    issued_any = True
+                    break
+                barrier.append(candidate)
+                if len(barrier) >= self.queue_depth:
+                    # Everything further back is behind a full window of
+                    # blocked requests; stop scanning.
+                    break
+
+    def _issue(self, req: Request) -> None:
+        self._inflight.append(req)
+        nand = self.nand
+        # Command processing is per-tag host work; at queue depth 1 it
+        # serializes between requests, at depth >1 it overlaps.
+        ready = self.loop.now_ns + self.command_ns
+        done = ready
+        if req.is_write:
+            # FTL-internal reads feed the programs (read-modify-write,
+            # GC victim relocation) and must land before them.
+            ready = nand.copyback_reads(req.copyback_pages, ready)
+            for wave in self.cache.plan(req.program_pages):
+                wave_done = ready
+                for group_pages in wave:
+                    end = nand.program_group(group_pages, ready)
+                    if end > wave_done:
+                        wave_done = end
+                # The next wave's host transfers stall until the cache
+                # drains — this is how a small cache costs bandwidth.
+                ready = wave_done
+            done = ready
+            done = nand.erase_blocks(req.erases, done)
+        else:
+            done = nand.read_pages(req.host_pages, ready)
+        self.loop.schedule_at(done, lambda r=req: self._complete(r))
+
+    def _complete(self, req: Request) -> None:
+        req.completion_ns = self.loop.now_ns
+        self._inflight.remove(req)
+        self.completion_order.append(self._tags[id(req)])
+        self._admit()

@@ -1,0 +1,161 @@
+"""NAND back-end scheduler: dispatch page/block ops to free planes.
+
+The scheduler owns the channel array and places every op on the plane
+(or channel, for coalesced program groups) whose reservations free up
+earliest — ties break on scan order, so dispatch and therefore every
+completion time is a pure deterministic function of the op sequence.
+Three op shapes cover the backend:
+
+* ``program_group`` — a coalesced write-cache line lands on ONE channel:
+  each page is DMA-transferred over that channel's bus (serialized),
+  then programmed on the channel's least-loaded plane (programs on
+  different planes overlap).  Consecutive groups naturally spread to
+  the least-busy channels, which is where multi-channel parallelism
+  comes from.
+* ``read_pages`` — host reads: plane array read, then DMA out over the
+  bus.
+* ``copyback_reads`` / ``erase_blocks`` — FTL-internal work (RMW reads,
+  GC/wear-leveling erases): plane-only, no host bus traffic.
+
+All methods take a ready time and return the completion time of the
+last page; the greedy reservations in :mod:`repro.timing.channel` do
+the pipelining.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.timing.channel import Channel, Plane
+
+
+class NANDScheduler:
+    """Dispatches flash ops across ``num_channels`` × ``planes_per_channel``."""
+
+    def __init__(
+        self,
+        num_channels: int,
+        planes_per_channel: int,
+        program_ns: int,
+        read_ns: int,
+        erase_ns: int,
+        transfer_ns: int,
+    ):
+        if num_channels <= 0:
+            raise ConfigurationError("num_channels must be positive")
+        for label, value in (
+            ("program_ns", program_ns),
+            ("read_ns", read_ns),
+            ("erase_ns", erase_ns),
+            ("transfer_ns", transfer_ns),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{label} must be >= 0")
+        self.channels: List[Channel] = [
+            Channel(i, planes_per_channel) for i in range(num_channels)
+        ]
+        self.program_ns = int(program_ns)
+        self.read_ns = int(read_ns)
+        self.erase_ns = int(erase_ns)
+        self.transfer_ns = int(transfer_ns)
+
+    @property
+    def num_planes(self) -> int:
+        return sum(ch.num_planes for ch in self.channels)
+
+    # ------------------------------------------------------------------
+    # Free-resource selection (deterministic: strict < keeps the first
+    # candidate on ties, and channels/planes scan in fixed order)
+    # ------------------------------------------------------------------
+
+    def _freest_plane(self) -> Tuple[Channel, Plane]:
+        """The (channel, plane) whose plane frees up earliest."""
+        best_channel = self.channels[0]
+        best_plane = best_channel.planes[0]
+        for channel in self.channels:
+            for plane in channel.planes:
+                if plane.free_ns < best_plane.free_ns:
+                    best_channel, best_plane = channel, plane
+        return best_channel, best_plane
+
+    def _freest_channel(self) -> Channel:
+        """The channel whose earliest-free plane is minimal."""
+        best = self.channels[0]
+        best_key = min(p.free_ns for p in best.planes)
+        for channel in self.channels[1:]:
+            key = min(p.free_ns for p in channel.planes)
+            if key < best_key:
+                best, best_key = channel, key
+        return best
+
+    @staticmethod
+    def _freest_in(channel: Channel) -> Plane:
+        best = channel.planes[0]
+        for plane in channel.planes[1:]:
+            if plane.free_ns < best.free_ns:
+                best = plane
+        return best
+
+    # ------------------------------------------------------------------
+    # Op dispatch
+    # ------------------------------------------------------------------
+
+    def program_group(self, pages: int, ready_ns: int) -> int:
+        """Program a coalesced group of ``pages`` pages on one channel.
+
+        Transfers serialize on the channel bus; programs overlap across
+        the channel's planes.  Returns the completion time of the last
+        page program.
+        """
+        if pages <= 0:
+            return ready_ns
+        channel = self._freest_channel()
+        done = ready_ns
+        for _ in range(pages):
+            _, xfer_end = channel.reserve_bus(ready_ns, self.transfer_ns)
+            _, prog_end = self._freest_in(channel).reserve(xfer_end, self.program_ns)
+            if prog_end > done:
+                done = prog_end
+        return done
+
+    def read_pages(self, pages: int, ready_ns: int) -> int:
+        """Host read of ``pages`` pages: array read, then DMA out."""
+        if pages <= 0:
+            return ready_ns
+        done = ready_ns
+        for _ in range(pages):
+            channel, plane = self._freest_plane()
+            _, read_end = plane.reserve(ready_ns, self.read_ns)
+            _, xfer_end = channel.reserve_bus(read_end, self.transfer_ns)
+            if xfer_end > done:
+                done = xfer_end
+        return done
+
+    def copyback_reads(self, pages: int, ready_ns: int) -> int:
+        """FTL-internal reads (RMW/GC source pages): plane-only."""
+        if pages <= 0:
+            return ready_ns
+        done = ready_ns
+        for _ in range(pages):
+            _, plane = self._freest_plane()
+            _, read_end = plane.reserve(ready_ns, self.read_ns)
+            if read_end > done:
+                done = read_end
+        return done
+
+    def erase_blocks(self, blocks: int, ready_ns: int) -> int:
+        """GC / wear-leveling erases: long plane-only ops."""
+        if blocks <= 0:
+            return ready_ns
+        done = ready_ns
+        for _ in range(blocks):
+            _, plane = self._freest_plane()
+            _, erase_end = plane.reserve(ready_ns, self.erase_ns)
+            if erase_end > done:
+                done = erase_end
+        return done
+
+    def busy_until(self) -> int:
+        """Latest reservation end across every channel."""
+        return max(ch.busy_until() for ch in self.channels)

@@ -7,7 +7,7 @@ synthetic benign-app traces for the mitigation study.
 """
 
 from repro.workloads.batch import BRICK_ERRORS, generic_step_batch
-from repro.workloads.patterns import RandomPattern, SequentialPattern
+from repro.workloads.patterns import RandomPattern, SequentialPattern, StridePattern
 from repro.workloads.microbench import BandwidthPoint, measure_bandwidth, sweep_block_sizes
 from repro.workloads.wearout import FileRewriteWorkload, fill_static_space
 from repro.workloads.traces import AppTrace, BENIGN_TRACES, spotify_bug_trace
@@ -17,6 +17,7 @@ __all__ = [
     "generic_step_batch",
     "RandomPattern",
     "SequentialPattern",
+    "StridePattern",
     "BandwidthPoint",
     "measure_bandwidth",
     "sweep_block_sizes",

@@ -16,7 +16,7 @@ from repro.devices.interface import BlockDevice
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike
 from repro.units import KIB, MIB
-from repro.workloads.patterns import RandomPattern, SequentialPattern
+from repro.workloads.patterns import RandomPattern, SequentialPattern, StridePattern
 
 #: The x-axis of Figure 1.
 FIGURE1_BLOCK_SIZES = [
@@ -60,7 +60,7 @@ def measure_bandwidth(
     Args:
         device: Device under test (should be fresh for Figure 1 shapes).
         request_bytes: Synchronous request size.
-        pattern: "seq" or "rand".
+        pattern: "seq", "rand", or "stride".
         volume_bytes: Total volume to write (default: 32 requests or
             4 MiB, whichever is larger — deterministic model, so small
             volumes suffice).
@@ -78,6 +78,12 @@ def measure_bandwidth(
         gen = SequentialPattern(region, request_bytes)
     elif pattern == "rand":
         gen = RandomPattern(region, request_bytes, seed=seed)
+    elif pattern == "stride":
+        if region // request_bytes < 2:
+            # A one-slot region cannot stride; degenerate to sequential.
+            gen = SequentialPattern(region, request_bytes)
+        else:
+            gen = StridePattern(region, request_bytes)
     else:
         raise ConfigurationError(f"unknown pattern {pattern!r}")
 

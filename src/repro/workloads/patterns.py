@@ -1,8 +1,10 @@
 """Address pattern generators.
 
-Emit batches of request offsets within a region, either uniformly
-random (the paper's "4 KiB rand") or sequentially wrapping (the
-"128 KiB seq" phases).
+Emit batches of request offsets within a region: uniformly random (the
+paper's "4 KiB rand"), sequentially wrapping (the "128 KiB seq"
+phases), or strided (uFLIP's third micro-pattern — deterministic like
+seq, but the gaps defeat write combining so every request pays the
+mapping-unit read-modify-write that random writes pay).
 """
 
 from __future__ import annotations
@@ -47,4 +49,42 @@ class SequentialPattern:
     def next_batch(self, count: int) -> np.ndarray:
         offsets = ((self._cursor + np.arange(count, dtype=np.int64)) % self._slots) * self.request_bytes
         self._cursor = int((self._cursor + count) % self._slots)
+        return offsets
+
+
+class StridePattern:
+    """Aligned offsets advancing by a fixed stride, wrapping.
+
+    uFLIP's strided micro-pattern: deterministic forward progress like
+    the sequential pattern, but consecutive requests are
+    ``stride_requests`` slots apart, so the device's write-combining
+    buffer never merges them — the request stream stays request-sized
+    all the way to the FTL.
+    """
+
+    name = "stride"
+
+    def __init__(
+        self,
+        region_bytes: int,
+        request_bytes: int,
+        stride_requests: int = 4,
+        start: int = 0,
+    ):
+        if request_bytes <= 0 or region_bytes < request_bytes:
+            raise ConfigurationError("region must hold at least one request")
+        if stride_requests < 2:
+            raise ConfigurationError(
+                "stride_requests must be >= 2 (1 is the sequential pattern)"
+            )
+        self.region_bytes = region_bytes
+        self.request_bytes = request_bytes
+        self.stride_requests = int(stride_requests)
+        self._slots = region_bytes // request_bytes
+        self._cursor = (start // request_bytes) % self._slots
+
+    def next_batch(self, count: int) -> np.ndarray:
+        steps = self._cursor + np.arange(count, dtype=np.int64) * self.stride_requests
+        offsets = (steps % self._slots) * self.request_bytes
+        self._cursor = int((self._cursor + count * self.stride_requests) % self._slots)
         return offsets

@@ -20,7 +20,7 @@ from repro.errors import ConfigurationError
 from repro.fs.interface import File, FileSystem
 from repro.rng import SeedLike, substream
 from repro.units import KIB, MIB
-from repro.workloads.patterns import RandomPattern, SequentialPattern
+from repro.workloads.patterns import RandomPattern, SequentialPattern, StridePattern
 
 
 def fill_static_space(fs: FileSystem, fraction: float, name_prefix: str = "static") -> List[File]:
@@ -61,7 +61,7 @@ class FileRewriteWorkload:
             the device's scale factor automatically.
         request_bytes: Per-write request size (4 KiB random phases,
             128 KiB sequential phases).
-        pattern: "rand" or "seq".
+        pattern: "rand", "seq", or "stride".
         batch_requests: Requests simulated per :meth:`step` (simulator
             granularity only).
         sync: Whether every request is synchronous (the paper's pattern).
@@ -83,7 +83,7 @@ class FileRewriteWorkload:
         target_files: Optional[List[File]] = None,
         seed: SeedLike = None,
     ):
-        if pattern not in ("rand", "seq"):
+        if pattern not in ("rand", "seq", "stride"):
             raise ConfigurationError(f"unknown pattern {pattern!r}")
         self.fs = fs
         self.request_bytes = request_bytes
@@ -109,6 +109,8 @@ class FileRewriteWorkload:
                 raise ConfigurationError(f"file {handle.name!r} smaller than one request")
             if pattern == "rand":
                 self._generators.append(RandomPattern(usable, request_bytes, seed=self._rng))
+            elif pattern == "stride" and usable // request_bytes >= 2:
+                self._generators.append(StridePattern(usable, request_bytes))
             else:
                 self._generators.append(SequentialPattern(usable, request_bytes))
         self._next_file = 0

@@ -43,6 +43,7 @@ class TestMemberEquivalence:
         assert cohort.lockstep_count == 4
         assert cohort.ineligible_reason is None
 
+    @pytest.mark.slow
     def test_seq_cohort_all_members(self):
         # The exact-P/E mode: no workload entropy reaches the device, so
         # follower wear arrays equal the leader's element-wise.
@@ -65,6 +66,7 @@ class TestMemberEquivalence:
         # only compare structure, not bits, against the cold variant.
         assert cold.warm_until is None
 
+    @pytest.mark.slow
     def test_ineligible_cohort_demotes_all_and_stays_exact(self):
         # Hybrid (two-pool) devices cannot be certified; the engine must
         # fall back to all-scalar execution, not refuse or approximate.

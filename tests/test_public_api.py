@@ -46,6 +46,7 @@ class TestDocumentation:
             "repro.analysis",
             "repro.cli",
             "repro.state",
+            "repro.timing",
         ],
     )
     def test_every_subpackage_has_a_docstring(self, module_name):

@@ -131,6 +131,7 @@ class TestSnapshotRoundTrip:
         assert result_json(deep) == result_json(cold)
         assert device_fingerprint(deep.device) == device_fingerprint(cold.device)
 
+    @pytest.mark.slow
     def test_hybrid_device_round_trip(self):
         cold = make_experiment(device="emmc-16gb", seed=3)
         cold.run(until_level=2)
@@ -345,7 +346,8 @@ class TestFastPollEquivalence:
     @pytest.mark.parametrize("device,fs_kind,seed", [
         ("emmc-8gb", "ext4", 7),
         ("emmc-8gb", "f2fs", 11),
-        ("emmc-16gb", "ext4", 3),  # hybrid: two pools, two budgets
+        pytest.param("emmc-16gb", "ext4", 3,
+                     marks=pytest.mark.slow),  # hybrid: two pools, two budgets
     ])
     def test_matches_naive_polling(self, device, fs_kind, seed):
         fast = make_experiment(device=device, fs_kind=fs_kind, seed=seed)

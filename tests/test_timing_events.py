@@ -1,0 +1,202 @@
+"""Edge-case tests for the event loop and channel/plane reservations.
+
+The timing backend's determinism rests on three properties pinned here:
+an integer-nanosecond clock that never reads wall time, simultaneous
+events firing in schedule order (heap ties broken by sequence number),
+and zero-latency configurations draining without hanging or going
+backwards in time (DESIGN.md §13).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing import (
+    Channel,
+    EventLoop,
+    EventTimingBackend,
+    NANDScheduler,
+    Plane,
+    TimingSpec,
+)
+
+
+class TestEventLoop:
+    def test_run_advances_clock_to_last_event(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10, lambda: fired.append("a"))
+        loop.schedule(30, lambda: fired.append("b"))
+        assert len(loop) == 2
+        assert loop.run() == 30
+        assert loop.now_ns == 30
+        assert fired == ["a", "b"]
+        assert len(loop) == 0
+
+    def test_zero_delay_event_fires_without_advancing_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0, lambda: fired.append(loop.now_ns))
+        assert loop.run() == 0
+        assert fired == [0]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(50):
+            loop.schedule_at(1000, lambda i=i: fired.append(i))
+        loop.run()
+        assert fired == list(range(50))
+
+    def test_tie_break_is_deterministic_across_runs(self):
+        def firing_order():
+            loop = EventLoop()
+            fired = []
+            # Mixed times with heavy collisions at each timestamp.
+            for i in range(40):
+                loop.schedule_at((i * 7) % 5, lambda i=i: fired.append(i))
+            loop.run()
+            return fired
+
+        assert firing_order() == firing_order()
+
+    def test_schedule_in_past_raises(self):
+        loop = EventLoop()
+        loop.schedule(5, lambda: loop.schedule_at(1, lambda: None))
+        with pytest.raises(ConfigurationError):
+            loop.run()
+
+    def test_negative_delay_raises(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            loop.schedule(-1, lambda: None)
+
+    def test_events_scheduled_while_running_fire_in_same_run(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(10, lambda: chain(n + 1))
+
+        loop.schedule(0, lambda: chain(0))
+        assert loop.run() == 30
+        assert fired == [0, 1, 2, 3]
+
+    def test_clock_persists_across_runs(self):
+        loop = EventLoop()
+        loop.schedule(100, lambda: None)
+        loop.run()
+        loop.schedule(50, lambda: None)  # relative to now=100
+        assert loop.run() == 150
+
+
+class TestPlane:
+    def test_reserve_from_free_plane_starts_at_ready(self):
+        plane = Plane()
+        start, end = plane.reserve(40, 10)
+        assert (start, end) == (40, 50)
+        assert plane.free_ns == 50
+
+    def test_reserve_on_busy_plane_waits_for_it_to_free(self):
+        plane = Plane()
+        plane.reserve(0, 100)
+        start, end = plane.reserve(20, 10)
+        assert (start, end) == (100, 110)
+
+    def test_zero_duration_reservation_is_instant(self):
+        plane = Plane()
+        start, end = plane.reserve(7, 0)
+        assert (start, end) == (7, 7)
+        assert plane.free_ns == 7
+
+
+class TestChannel:
+    def test_bus_transfers_serialize(self):
+        ch = Channel(0, num_planes=2)
+        ends = [ch.reserve_bus(0, 10)[1] for _ in range(3)]
+        assert ends == [10, 20, 30]
+
+    def test_busy_until_covers_bus_and_planes(self):
+        ch = Channel(0, num_planes=2)
+        ch.reserve_bus(0, 10)
+        ch.planes[1].reserve(0, 500)
+        assert ch.busy_until() == 500
+
+
+class TestZeroLatencyNAND:
+    def test_all_ops_complete_at_ready_time(self):
+        nand = NANDScheduler(
+            num_channels=2, planes_per_channel=2,
+            program_ns=0, read_ns=0, erase_ns=0, transfer_ns=0,
+        )
+        assert nand.program_group(16, 70) == 70
+        assert nand.read_pages(16, 70) == 70
+        assert nand.copyback_reads(16, 70) == 70
+        assert nand.erase_blocks(4, 70) == 70
+        assert nand.busy_until() == 70
+
+    def test_empty_ops_are_free(self):
+        nand = NANDScheduler(
+            num_channels=1, planes_per_channel=1,
+            program_ns=100, read_ns=80, erase_ns=800, transfer_ns=10,
+        )
+        assert nand.program_group(0, 5) == 5
+        assert nand.read_pages(0, 5) == 5
+        assert nand.copyback_reads(0, 5) == 5
+        assert nand.erase_blocks(0, 5) == 5
+
+
+def _zero_latency_spec(queue_depth=4):
+    return TimingSpec(
+        channels=2, planes_per_channel=2, page_size=4096, line_pages=2,
+        program_ns=0, read_ns=0, erase_ns=0, transfer_ns=0, command_ns=0,
+        queue_depth=queue_depth, cache_pages=8,
+    )
+
+
+class TestZeroLatencyBackend:
+    """A fully zero-latency configuration must drain every batch at the
+    current instant — no hangs, no negative durations."""
+
+    def test_writes_take_zero_seconds(self):
+        backend = EventTimingBackend(_zero_latency_spec())
+        offsets = [i * 4096 for i in range(32)]
+        assert backend.time_writes(offsets, 4096, media_pages=48, erases=3) == 0.0
+        assert backend.loop.now_ns == 0
+        assert len(backend.loop) == 0
+
+    def test_reads_take_zero_seconds(self):
+        backend = EventTimingBackend(_zero_latency_spec())
+        assert backend.time_reads([0, 4096, 8192], 4096) == 0.0
+
+    def test_empty_batches_are_free(self):
+        backend = EventTimingBackend(_zero_latency_spec())
+        assert backend.time_writes([], 4096, media_pages=0) == 0.0
+        assert backend.time_reads([], 4096) == 0.0
+
+    def test_completion_order_matches_submission_order(self):
+        # Every completion lands on the same nanosecond; the sequence
+        # tie-break must retire them in submission order.
+        backend = EventTimingBackend(_zero_latency_spec(queue_depth=4))
+        backend.time_writes([i * 4096 for i in range(12)], 4096, media_pages=12)
+        assert backend.frontend.completion_order == list(range(12))
+
+
+class TestBackendDeterminism:
+    def test_identical_batches_produce_bit_identical_durations(self):
+        spec = TimingSpec(
+            channels=2, planes_per_channel=2, page_size=4096, line_pages=2,
+            program_ns=101, read_ns=67, erase_ns=907, transfer_ns=13,
+            command_ns=5, queue_depth=8, cache_pages=16,
+        )
+        offsets = [(i * 37) % 64 * 4096 for i in range(48)]
+
+        def run_once():
+            backend = EventTimingBackend(spec)
+            return [
+                backend.time_writes(offsets, 4096, media_pages=60, erases=2),
+                backend.time_reads(offsets, 4096),
+            ]
+
+        assert run_once() == run_once()
