@@ -16,10 +16,17 @@ Timings are compared against the committed baseline in
   ``REGRESSION_FACTOR`` x its baseline (or a fingerprint mismatches) —
   this is what CI's perf-smoke job runs;
 * ``--update`` rewrites the baseline's ``seconds`` for the cases that
-  were run (``seed_seconds``, the pre-optimization timing, is kept);
+  were run (``seed_seconds``, the pre-optimization timing, is kept) —
+  but refuses any case whose fingerprint drifted: a baseline refresh
+  must never launder a behaviour change into the committed timings;
 * ``--profile`` additionally runs each case once under cProfile and
   writes a per-case hotspot table (top functions by cumulative time)
-  next to the baseline file.
+  next to the baseline file, plus a machine-readable top-20 hotspot
+  JSON (``<bench>_profile.json``) for CI artifact upload.
+
+Every run ends with one ``BENCH_JSON_SUMMARY {...}`` line (case count,
+failure count, whether every fingerprint matched) so CI can gate on a
+single grep instead of scraping per-case records.
 """
 
 from __future__ import annotations
@@ -84,25 +91,49 @@ def best_of(runner: Callable[[], Tuple[float, str]], repeats: int) -> Tuple[floa
     return best, fingerprint
 
 
-def profile_table(runner: Callable[[], Tuple[float, str]], top: int = 25) -> str:
-    """One profiled run of ``runner``; returns the top-``top`` hotspot
-    table sorted by cumulative time."""
+def profile_case(runner: Callable[[], Tuple[float, str]]) -> cProfile.Profile:
+    """One profiled run of ``runner``; returns the raw profiler."""
     profiler = cProfile.Profile()
     profiler.enable()
     try:
         runner()
     finally:
         profiler.disable()
+    return profiler
+
+
+def profile_table(profiler: cProfile.Profile, top: int = 25) -> str:
+    """Human-readable top-``top`` hotspot table by cumulative time."""
     buffer = io.StringIO()
     pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(top)
     return buffer.getvalue()
 
 
-def profile_output_path() -> pathlib.Path:
-    """Hotspot-table destination: named after the bench entry point,
+def hotspot_entries(profiler: cProfile.Profile, top: int = 20) -> list:
+    """Top-``top`` cumulative hotspots as JSON-ready records."""
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        file, line, name = func
+        rows.append({
+            "file": file,
+            "line": line,
+            "function": name,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    return rows
+
+
+def profile_output_path(suffix: str = "txt") -> pathlib.Path:
+    """Hotspot-artifact destination: named after the bench entry point,
     next to the results baseline (BENCH_perf.json)."""
     stem = pathlib.Path(sys.argv[0]).stem or "bench"
-    return BASELINE_PATH.parent / f"{stem}_profile.txt"
+    return BASELINE_PATH.parent / f"{stem}_profile.{suffix}"
 
 
 def load_baseline() -> dict:
@@ -131,10 +162,14 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
     baseline = load_baseline()
     failures = []
     profile_sections = []
+    profile_json = {}
+    fingerprints_ok = True
     for case in cases:
         elapsed, fingerprint = best_of(case.run, args.repeats)
         if args.profile:
-            profile_sections.append(f"== {case.name} ==\n{profile_table(case.run)}")
+            profiler = profile_case(case.run)
+            profile_sections.append(f"== {case.name} ==\n{profile_table(profiler)}")
+            profile_json[case.name] = hotspot_entries(profiler)
         entry = baseline["cases"].setdefault(case.name, {})
         ref = entry.get("seconds")
         seed_ref = entry.get("seed_seconds")
@@ -158,11 +193,17 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
         }, sort_keys=True))
 
         if fingerprint != case.expected_fingerprint:
+            fingerprints_ok = False
             failures.append(f"{case.name}: fingerprint drift — simulation results changed "
                             f"(got {fingerprint[:16]}…, expected {case.expected_fingerprint[:16]}…)")
+            if args.update:
+                # Refuse to launder a behaviour change into the
+                # committed baseline: drifted cases keep their old
+                # seconds/fingerprint and the run still fails.
+                print(f"refusing --update for {case.name}: fingerprint drifted")
         elif args.check and ref and elapsed > ref * REGRESSION_FACTOR:
             failures.append(f"{case.name}: {elapsed:.3f}s is >{REGRESSION_FACTOR}x baseline {ref:.3f}s")
-        if args.update:
+        if args.update and fingerprint == case.expected_fingerprint:
             entry["seconds"] = round(elapsed, 3)
             entry["fingerprint"] = fingerprint
 
@@ -172,7 +213,20 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
     if profile_sections:
         path = profile_output_path()
         path.write_text("\n".join(profile_sections))
+        json_path = profile_output_path("json")
+        json_path.write_text(json.dumps(
+            {"bench": pathlib.Path(sys.argv[0]).stem, "top": 20, "cases": profile_json},
+            indent=2, sort_keys=True) + "\n")
         print(f"hotspot table written: {path}")
+        print(f"hotspot json written: {json_path}")
     for failure in failures:
         print(f"FAIL: {failure}")
+    print("BENCH_JSON_SUMMARY " + json.dumps({
+        "bench": pathlib.Path(sys.argv[0]).stem,
+        "cases": len(cases),
+        "failures": len(failures),
+        "fingerprints_ok": fingerprints_ok,
+        "checked": bool(args.check),
+        "updated": bool(args.update),
+    }, sort_keys=True))
     return 1 if failures else 0

@@ -169,6 +169,22 @@ _EXECUTORS: Dict[str, Callable[..., Dict[str, Any]]] = {
 }
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: drop the megaburst plan cache.
+
+    Under the fork start method every worker inherits the parent's
+    cache pages; clearing keeps per-worker memory flat and makes fork
+    and spawn workers start from the same (empty) cache.  The serial
+    path deliberately keeps the module-global cache so a grid's points
+    warm-start each other's fused windows (DESIGN.md §14) — replays
+    are bit-identical, so worker count never changes results either
+    way.
+    """
+    from repro.ftl import plancache
+
+    plancache.clear()
+
+
 def run_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one campaign point; the worker-side entry point.
 
@@ -337,7 +353,7 @@ class CampaignRunner:
                     self._record(record, progress)
             else:
                 ctx = multiprocessing.get_context(self.mp_context)
-                with ctx.Pool(processes=effective) as pool:
+                with ctx.Pool(processes=effective, initializer=_worker_init) as pool:
                     for record in pool.imap_unordered(run_point, pending, chunksize=1):
                         self._record(record, progress)
         wall = recorder.elapsed("campaign")

@@ -12,6 +12,7 @@ attributes (see :mod:`repro.workloads.wearout`).
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Any, Dict, Optional
 
@@ -80,7 +81,26 @@ class WearOutExperiment:
         # the per-step loop; the fused path is only taken under
         # ``fast_poll`` (the budget doubles as the fusion bound).
         self.step_batching = True
-        self.max_batch_steps = 64
+        # Megaburst windows (DESIGN.md §14): whole uneventful stretches
+        # of a trajectory — often every step between two wear polls —
+        # compile into one fused kernel call.  The cap only bounds the
+        # step plan handed to the kernel; polls, increments, and
+        # checkpoints land at the exact same steps_completed for any cap
+        # value because the FTL truncates the burst at the erase budget
+        # itself, not at the window edge (window-size invariance is
+        # pinned by tests/test_ftl_equivalence.py).
+        self.max_batch_steps = 1024
+        # First fused window after a poll, before any erase-rate
+        # estimate exists.  Small on purpose: it learns the rate so the
+        # next window can be sized to end near the poll boundary rather
+        # than planning the whole cap and throwing most of it away.
+        self._pilot_batch_steps = 64
+        # Stepper bound once per workload object (re-resolved only when
+        # ``self.workload`` is swapped), not re-wrapped on every batched
+        # run.
+        self._stepper: Any = None
+        self._stepper_for: Any = None
+        self._resolve_stepper()
         # Erases-per-step estimate from the last batch, used to size the
         # next batch so it ends near the poll boundary (a pure
         # heuristic: the FTL truncates the burst exactly at the budget
@@ -161,27 +181,22 @@ class WearOutExperiment:
     # ------------------------------------------------------------------
 
     def _run_batched(self, until_level: int, max_steps: int) -> None:
-        """Fused main loop (DESIGN.md §11).
+        """Fused main loop (DESIGN.md §11, §14).
 
         While the erase budget proves no indicator can cross, up to the
-        whole remaining budget executes as one ``step_batch`` call; the
-        loop then polls, records increments, and checkpoints exactly as
-        the per-step loop would at the same ``steps_completed``.  Any
-        step the fused path cannot prove uneventful is replayed through
-        ``_step_once`` — the scalar reference path — so results are
-        bit-identical to ``step_batching=False``.
+        whole remaining budget executes as one ``step_batch`` call — a
+        precomputed step plan the kernel truncates exactly at the
+        budget, so increment boundaries no longer force a Python unwind
+        per poll window.  The loop then polls, records increments, and
+        checkpoints exactly as the per-step loop would at the same
+        ``steps_completed``.  Any step the fused path cannot prove
+        uneventful is replayed through ``_step_once`` — the scalar
+        reference path — so results are bit-identical to
+        ``step_batching=False``.  Steady-state windows additionally hit
+        the megaburst plan cache (repro.ftl.plancache) inside
+        ``step_batch`` and skip planning entirely.
         """
-        workload = self.workload
-        # Resolve step_batch on the CLASS, not the instance: delegation
-        # wrappers (__getattr__ forwarding to an inner workload) would
-        # otherwise hand back the inner fused path and silently skip
-        # whatever per-step behaviour the wrapper adds.  Such workloads
-        # fall back to the generic batcher, which goes through their
-        # own step().
-        if getattr(type(workload), "step_batch", None) is not None:
-            stepper = workload.step_batch
-        else:
-            stepper = lambda n, budget: generic_step_batch(workload, n, budget)
+        stepper = self._resolve_stepper()
         steps_done = 0
         while steps_done < max_steps:
             n = self._fusion_bound(until_level, max_steps - steps_done)
@@ -241,6 +256,25 @@ class WearOutExperiment:
             if indicators is not None and self._any_at_level(until_level, indicators):
                 return
 
+    def _resolve_stepper(self):
+        """The batch stepper for the current workload, bound once.
+
+        Resolved on the CLASS, not the instance: delegation wrappers
+        (``__getattr__`` forwarding to an inner workload) would
+        otherwise hand back the inner fused path and silently skip
+        whatever per-step behaviour the wrapper adds.  Such workloads
+        fall back to the generic batcher, which goes through their own
+        ``step()``.
+        """
+        workload = self.workload
+        if self._stepper_for is not workload:
+            if getattr(type(workload), "step_batch", None) is not None:
+                self._stepper = workload.step_batch
+            else:
+                self._stepper = functools.partial(generic_step_batch, workload)
+            self._stepper_for = workload
+        return self._stepper
+
     def _fusion_bound(self, until_level: int, remaining: int) -> int:
         """Steps provably safe to fuse before the next poll/checkpoint.
 
@@ -275,6 +309,14 @@ class WearOutExperiment:
                 estimate = int(headroom / self._erase_rate) + 1
                 if estimate < n:
                     n = estimate
+            elif n > self._pilot_batch_steps:
+                # No erase-rate estimate yet (first fused window after a
+                # poll): plan a small pilot window to learn the rate
+                # instead of planning the whole cap and letting the
+                # budget discard most of it.  Window size never affects
+                # results (the kernel truncates exactly at the budget),
+                # only how much planning the truncation wastes.
+                n = self._pilot_batch_steps
         return n if n > 0 else 1
 
     def _step_once(self) -> Optional[Dict[str, "WearIndicator"]]:

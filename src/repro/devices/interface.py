@@ -15,6 +15,7 @@ import numpy as np
 from repro.devices.health import HealthReport
 from repro.devices.perf import PerformanceModel
 from repro.errors import DeviceWornOut, ReadOnlyError
+from repro.ftl import plancache
 from repro.ftl.burst import BurstSegment
 from repro.ftl.ftl import PageMappedFTL, _ragged_ranges
 from repro.ftl.hybrid import HybridFTL
@@ -142,6 +143,16 @@ class BlockDevice:
         """Block erases across every flash package (timing accounting)."""
         return sum(pkg.counters.block_erases for pkg in self._packages())
 
+    def burst_eligible(self) -> bool:
+        """Static preconditions of :meth:`write_burst`.
+
+        Cheap enough for callers to consult before pre-drawing a whole
+        window of work: a device whose configuration can never take the
+        fused path (hybrid FTL, read-only, event-timing backend) should
+        cost nothing per window beyond this check.
+        """
+        return type(self.ftl) is PageMappedFTL and not self.read_only and self.timing is None
+
     def write_burst(self, groups, budget):
         """Fused write path covering many workload steps (DESIGN.md §11).
 
@@ -217,6 +228,30 @@ class BlockDevice:
                                 ((sub[:, 1:] - sub[:, :-1]) == request_bytes).all(axis=1).any()
                             )
                     if not combinable:
+                        programs = count * unit_pages
+                        if (
+                            page_shift >= 0
+                            and unit_shift >= 0
+                            and request_bytes <= page
+                            and int((stacked & (page - 1)).max()) + request_bytes <= page
+                        ):
+                            # Fastest shape — every request fits inside
+                            # one page (hence one mapping unit: unit
+                            # boundaries are page boundaries).  No span
+                            # math needed; host pages is one per request.
+                            first_unit = stacked >> unit_shift
+                            host_pages = count
+                            for row, i in enumerate(indices):
+                                segments[i] = BurstSegment(
+                                    unit_lpns=first_unit[row],
+                                    host_pages=host_pages,
+                                    rmw_pages=programs - host_pages,
+                                    group=calls[i][0],
+                                    total_bytes=count * request_bytes,
+                                    request_bytes=request_bytes,
+                                )
+                            vectorized = True
+                    if not combinable and not vectorized:
                         last = stacked + (request_bytes - 1)
                         if unit_shift >= 0:
                             first_unit = stacked >> unit_shift
@@ -275,6 +310,12 @@ class BlockDevice:
             seg_durations.append(duration)
         self.host_bytes_written += host_bytes
         self.busy_seconds = busy
+        cap = plancache.active_capture()
+        if cap is not None:
+            # Replays add host_delta and re-accumulate seg_durations in
+            # this exact order from the then-current busy_seconds.
+            cap.seg_durations = seg_durations
+            cap.host_delta = host_bytes
         return m, seg_durations
 
     @staticmethod

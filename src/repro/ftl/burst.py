@@ -1,20 +1,33 @@
-"""Fused burst-step execution (DESIGN.md §11).
+"""Fused burst-step execution (DESIGN.md §11, §14).
 
 One call plans — and, when provably uneventful, applies — many host
 write calls' worth of FTL work as whole-array numpy kernels, instead of
 one Python dispatch chain per workload step.
 
-The model is *plan-then-apply*: a read-only planning pass mirrors the
-scalar write path (span placement, GC victim selection, dynamic
-wear-leveling allocation, erase wear arithmetic) over cheap Python
-scalars, proving that the burst stays on the "clean" path — greedy GC
-only ever selects fully-invalid victims, no block is retired, no static
-wear-leveling migration triggers, no relocation runs.  Only then is the
-aggregate effect committed in a handful of vectorized scatters.  Any
-event the plan cannot reproduce bit-for-bit makes it *bail with nothing
-mutated* (return ``None``), and the caller re-executes the same writes
-through the ordinary scalar path — which therefore remains the
-reference semantics, exceptions included.
+The model is *plan-then-apply*: a read-only planning pass
+(:func:`plan_write_burst`) mirrors the scalar write path (span
+placement, GC victim selection, dynamic wear-leveling allocation, erase
+wear arithmetic) over cheap Python scalars, proving that the burst
+stays on the "clean" path — greedy GC only ever selects fully-invalid
+victims, no block is retired, no static wear-leveling migration
+triggers, no relocation runs.  Only then is the aggregate effect
+committed in a handful of vectorized scatters
+(:func:`commit_planned_burst`).  Any event the plan cannot reproduce
+bit-for-bit makes it *bail with nothing planned* (return ``None``), and
+the caller re-executes the same writes through the ordinary scalar path
+— which therefore remains the reference semantics, exceptions included.
+
+The plan/commit split is what the megaburst plan cache
+(:mod:`repro.ftl.plancache`, DESIGN.md §14) builds on: a finalized
+:class:`~repro.ftl.plancache.BurstPlan` carries every commit input as
+owned arrays, so a cached replay re-runs the *same* commit the fresh
+path runs — bit identity between fresh and replayed windows holds by
+construction, not by a separate code path.
+
+The walk itself has two interchangeable implementations: the inline
+Python loop below (default — ``heapq`` and list mirrors are the fastest
+CPython form) and the array transcription in :mod:`repro.ftl.kernels`
+selected by ``REPRO_KERNEL=numba``, which numba can JIT.
 
 Bit identity with the scalar path is the contract: every mirrored float
 uses the same IEEE-754 operations on the same values, victim order is
@@ -32,7 +45,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.ftl import kernels, plancache
 from repro.ftl.gc import GreedyVictimPolicy
+from repro.ftl.plancache import BurstPlan
 
 #: Sentinel "no next occurrence" position; beyond any real stream index.
 _NEVER = 1 << 62
@@ -74,7 +89,31 @@ def execute_write_burst(
     Returns the number of whole groups executed (truncation happens only
     at group boundaries, where the caller's poll budget expires), or
     ``None`` — with the FTL untouched — when the burst is ineligible or
-    the plan hit an event only the scalar path can reproduce.
+    the plan hit an event only the scalar path can reproduce.  When a
+    plan-cache capture is active, the finalized plan is deposited for
+    memoization.
+    """
+    plan = plan_write_burst(ftl, segments, num_groups, stop_erases)
+    if plan is None:
+        return None
+    commit_planned_burst(ftl, plan)
+    cap = plancache.active_capture()
+    if cap is not None:
+        cap.plan = plan
+    return plan.executed_groups
+
+
+def plan_write_burst(
+    ftl,
+    segments: Sequence[BurstSegment],
+    num_groups: int,
+    stop_erases: Optional[int],
+) -> Optional[BurstPlan]:
+    """Derive a clean-path plan for the burst, mutating nothing.
+
+    Returns None when the burst is ineligible or any planned step would
+    leave the provably-uneventful path (see module docstring); the
+    caller then replays through the scalar reference path.
     """
     if not segments or num_groups <= 0:
         return None
@@ -114,7 +153,10 @@ def execute_write_burst(
     # codes: sorting groups positions by LPN in stream order, and a
     # plain np.sort beats argsort (no index permutation pass).  When LPN
     # and position bits fit 32 together — small devices, the common
-    # case — the radix sort runs on uint32, half the byte passes.
+    # case — the whole link pass stays on uint32: half the radix bytes,
+    # and the big scatter into ``nxt`` touches half the memory.  The
+    # sentinel is then the uint32 maximum and "never fires" becomes
+    # ``event >= 2**32``; the int64 path keeps the classic ``_NEVER``.
     pos_bits = max(1, (L - 1).bit_length())
     if ftl.num_logical_units <= 1 << (32 - pos_bits):
         code = np.sort(
@@ -122,11 +164,14 @@ def execute_write_burst(
         )
         order = code & np.uint32((1 << pos_bits) - 1)
         grp = code >> pos_bits
+        nxt = np.full(L, 0xFFFFFFFF, dtype=np.uint32)
+        never_cap = 1 << 32
     else:
         code = np.sort((U << 31) | np.arange(L, dtype=np.int64))
         order = code & ((1 << 31) - 1)
         grp = code >> 31
-    nxt = np.full(L, _NEVER, dtype=np.int64)
+        nxt = np.full(L, _NEVER, dtype=np.int64)
+        never_cap = _NEVER
     same = grp[:-1] == grp[1:]
     succ = order[1:][same]
     nxt[order[:-1][same]] = succ
@@ -134,7 +179,8 @@ def execute_write_burst(
     isfirst[succ] = False
 
     first_pos = np.nonzero(isfirst)[0]
-    old_all = ftl._l2p[U[first_pos]]
+    probe_lpns = U[first_pos]
+    old_all = ftl._l2p[probe_lpns]
     hit = old_all >= 0
     old_ppu = old_all[hit]
     old_pos = first_pos[hit]
@@ -143,7 +189,6 @@ def execute_write_burst(
     queue = ftl._gc_queue
     cof0 = queue._count_of
     tracked0 = cof0 >= 0
-    hint0 = queue._min_hint
     vc0 = ftl._valid_count
     active0 = ftl._active_block
     a0 = ftl._active_offset
@@ -186,7 +231,6 @@ def execute_write_burst(
             [np.zeros(1, dtype=np.int64), np.arange(r0, L, upb, dtype=np.int64)]
         )
     ext_ends = np.append(ext_starts[1:], L)
-    num_ext = int(ext_starts.size)
     # Per-extent max next-occurrence: the extent's block goes zero-valid
     # at ext_t + 1 (if that ever happens inside the burst).
     ext_t = np.maximum.reduceat(nxt, ext_starts)
@@ -200,11 +244,122 @@ def execute_write_burst(
         if b0_pre:
             exhaust_pos.pop(active0, None)
 
+    seg_lens = [int(s.unit_lpns.size) for s in segments]
+
     # ------------------------------------------------------------------
-    # Mirrors: Python-scalar copies of every structure the plan mutates.
-    # Float arithmetic on list elements is bit-identical to the numpy
-    # float64 scalar ops of the real path.
+    # The walk: mirror _write_units/_place_span over stream positions,
+    # group by group, truncating when the caller's erase budget expires.
+    # Produces the burst's end state plus the per-group cumulative erase
+    # prefix the plan cache needs to validate budget-matched replays.
     # ------------------------------------------------------------------
+    if kernels.walk_selected():
+        walked = _kernel_walk(
+            ftl, pkg, segments, seg_lens, num_groups, stop_erases, ext_t,
+            exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
+            never_cap, low, high, cfg, L, upb,
+        )
+    else:
+        walked = _inline_walk(
+            ftl, pkg, segments, seg_lens, num_groups, stop_erases, ext_t,
+            exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
+            never_cap, low, high, cfg,
+        )
+    if walked is None:
+        return None
+    (
+        vic_u, vic_perm, vic_reco, vic_eff, n_erased,
+        a_blocks, ks, cb, free_final, active, aoff, wl_ctr,
+        m, C, erase_prefix, seg_cut,
+    ) = walked
+
+    # ------------------------------------------------------------------
+    # Finalize: every commit input as owned arrays (never views of live
+    # FTL state), so the plan can be cached and replayed.
+    # ------------------------------------------------------------------
+    exec_segs = segments[:seg_cut]
+    host_pages = 0
+    rmw_pages = 0
+    for s in exec_segs:
+        host_pages += s.host_pages
+        rmw_pages += s.rmw_pages
+
+    old_exec = old_ppu[old_pos < C] if old_ppu.size else old_ppu
+
+    hb = None
+    if old_exec.size:
+        hb_arr = np.unique(old_exec // upb)
+        hb_arr = hb_arr[tracked0[hb_arr]]
+        if hb_arr.size:
+            hb = hb_arr
+
+    # Surviving in-burst placements, flattened per alive extent: the
+    # placed units' physical slots, source stream positions, and
+    # survivorship (the position's next occurrence is past the cut).
+    starts = ext_starts[ks]
+    ends = np.minimum(ext_ends[ks], C)
+    lens = ends - starts
+    slot0 = a_blocks * upb
+    if b0_pre:
+        slot0 = slot0 + np.where(ks == 0, a0, 0)
+    red = lens.cumsum() - lens
+    tot = int(lens.sum())
+    intra = np.arange(tot, dtype=np.int64) - np.repeat(red, lens)
+    ppus = np.repeat(slot0, lens) + intra
+    sidx = np.repeat(starts, lens) + intra
+    su = U[sidx]
+    sv = nxt[sidx] >= C
+    if n_blocks * upb < 1 << 32 and ftl.num_logical_units < 1 << 32:
+        # Plans are cached whole; uint32 slot/LPN arrays halve the
+        # resident bytes of a megaburst entry (scatter semantics are
+        # unchanged — numpy fancy indexing accepts unsigned indices).
+        ppus = ppus.astype(np.uint32, copy=False)
+        su = su.astype(np.uint32, copy=False)
+
+    return BurstPlan(
+        executed_groups=m,
+        num_groups=num_groups,
+        units_executed=C,
+        n_erased=n_erased,
+        host_pages=host_pages,
+        rmw_pages=rmw_pages,
+        wl_ctr_final=wl_ctr,
+        old_exec=old_exec,
+        vic_u=vic_u,
+        vic_perm=vic_perm,
+        vic_reco=vic_reco,
+        vic_eff=vic_eff,
+        a_blocks=a_blocks,
+        red=red,
+        ppus=ppus,
+        su=su,
+        sv=sv,
+        cb=cb,
+        hb=hb,
+        free_final=free_final,
+        active_final=active,
+        aoff_final=aoff,
+        erase_prefix=erase_prefix,
+        probe_lpns=probe_lpns,
+        probe_old=old_all,
+    )
+
+
+def _inline_walk(
+    ftl, pkg, segments, seg_lens, num_groups, stop_erases, ext_t,
+    exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
+    never_cap, low, high, cfg,
+):
+    """Reference walk: heapq + Python-scalar mirrors of every structure
+    the plan mutates.  Float arithmetic on list elements is bit-identical
+    to the numpy float64 scalar ops of the real path.  The GC mirror
+    (plan_reclaim: clean-path victim selection + erase wear arithmetic)
+    and the free-block pull (pop_free: FIFO, or the least-worn scan
+    under dynamic WL, strict-< first-of-ties like pick_free_block) are
+    inlined — this loop runs once per block fill and is the simulator's
+    true hot path.  Returns None on any event only the scalar path can
+    reproduce.
+    """
+    upb = ftl.units_per_block
     perm_l = pkg._pe_permanent.tolist()
     reco_l = pkg._pe_recoverable.tolist()
     eff_l = pe0.tolist()
@@ -227,16 +382,8 @@ def execute_write_burst(
     n_erased = 0
     alive = {}  # block -> extent ordinal of its latest in-burst extent
     closed_in_burst: set = set()
+    erase_prefix: List[int] = []
 
-    # ------------------------------------------------------------------
-    # The walk: mirror _write_units/_place_span over stream positions,
-    # group by group, truncating when the caller's erase budget expires.
-    # The GC mirror (plan_reclaim: clean-path victim selection + erase
-    # wear arithmetic) and the free-block pull (pop_free: FIFO, or the
-    # least-worn scan under dynamic WL, strict-< first-of-ties like
-    # pick_free_block) are inlined — this loop runs once per block fill
-    # and is the simulator's true hot path.
-    # ------------------------------------------------------------------
     heappush = heapq.heappush
     heappop = heapq.heappop
     free_append = free.append
@@ -245,6 +392,7 @@ def execute_write_burst(
     closed_add = closed_in_burst.add
     closed_discard = closed_in_burst.discard
     alive_pop = alive.pop
+    prefix_append = erase_prefix.append
     active = active0
     aoff = a0
     if b0_pre:
@@ -252,7 +400,6 @@ def execute_write_burst(
         next_ext = 1
     else:
         next_ext = 0
-    seg_lens = [int(s.unit_lpns.size) for s in segments]
     ext_tl = ext_t.tolist()
     n_segs = len(segments)
     pos = 0
@@ -356,7 +503,7 @@ def execute_write_burst(
                             ev = p
                         if k == 0 and b0_pre and b0_extra > ev:
                             ev = b0_extra
-                        if ev < _NEVER:
+                        if ev < never_cap:
                             heappush(pending, (ev, active))
                         closed_add(active)
                         active = None
@@ -386,51 +533,161 @@ def execute_write_burst(
             pos = s_end
             seg_i += 1
         m = group + 1
+        prefix_append(n_erased)
         if stop_erases is not None and n_erased >= stop_erases:
             break
     C = pos
 
-    # ==================================================================
-    # Apply: commit the planned end state in vectorized passes.
-    # ==================================================================
-    exec_segs = segments[:seg_i]
-    host_pages = 0
-    rmw_pages = 0
-    for s in exec_segs:
-        host_pages += s.host_pages
-        rmw_pages += s.rmw_pages
+    if victims:
+        vic_u = np.unique(np.array(victims, dtype=np.int64))
+        vl = vic_u.tolist()
+        vic_perm = np.array([perm_l[v] for v in vl])
+        vic_reco = np.array([reco_l[v] for v in vl])
+        vic_eff = np.array([eff_l[v] for v in vl])
+    else:
+        vic_u = np.empty(0, dtype=np.int64)
+        vic_perm = np.empty(0)
+        vic_reco = np.empty(0)
+        vic_eff = np.empty(0)
+    items = list(alive.items())
+    a_blocks = np.array([b for b, _ in items], dtype=np.int64)
+    ks = np.array([k for _, k in items], dtype=np.int64)
+    if closed_in_burst:
+        cb = np.fromiter(closed_in_burst, dtype=np.int64, count=len(closed_in_burst))
+    else:
+        cb = None
+    return (
+        vic_u, vic_perm, vic_reco, vic_eff, n_erased,
+        a_blocks, ks, cb, tuple(free), active, aoff, wl_ctr,
+        m, C, erase_prefix, seg_i,
+    )
+
+
+def _kernel_walk(
+    ftl, pkg, segments, seg_lens, num_groups, stop_erases, ext_t,
+    exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
+    never_cap, low, high, cfg, L, upb,
+):
+    """Array-walk front end: marshal the mirrors into the fixed arrays
+    :mod:`repro.ftl.kernels` operates on, run the (possibly jitted)
+    walk, and translate its outputs back into the finalize inputs."""
+    n_blocks = ftl._num_blocks
+    seg_lens_a = np.array(seg_lens, dtype=np.int64)
+    seg_groups_a = np.array([s.group for s in segments], dtype=np.int64)
+    if exhaust_pos:
+        pend_blk = np.fromiter(exhaust_pos.keys(), dtype=np.int64, count=len(exhaust_pos))
+        pend_ev = np.fromiter(exhaust_pos.values(), dtype=np.int64, count=len(exhaust_pos))
+    else:
+        pend_blk = np.empty(0, dtype=np.int64)
+        pend_ev = np.empty(0, dtype=np.int64)
+    cand = np.nonzero(cof0 == 0)[0].astype(np.int64)
+    perm = pkg._pe_permanent.astype(np.float64, copy=True)
+    reco = pkg._pe_recoverable.astype(np.float64, copy=True)
+    eff = pe0.astype(np.float64, copy=True)
+    lim = pkg._cycle_limit.astype(np.float64, copy=True)
+    free0 = list(ftl._free_blocks)
+    free_arr = np.empty(n_blocks + 1, dtype=np.int64)
+    if free0:
+        free_arr[: len(free0)] = free0
+    vcap = L // upb + n_blocks + high + 16
+    victims = np.empty(vcap, dtype=np.int64)
+    alive_ext_of = np.full(n_blocks, -1, dtype=np.int64)
+    closed_flag = np.zeros(n_blocks, dtype=np.uint8)
+    prefix = np.zeros(num_groups, dtype=np.int64)
+    hcap = vcap + n_blocks + 16
+    heap_k = np.empty(hcap, dtype=np.float64)
+    heap_b = np.empty(hcap, dtype=np.int64)
+    pheap_e = np.empty(hcap, dtype=np.int64)
+    pheap_b = np.empty(hcap, dtype=np.int64)
+    frac = pkg.healing.recoverable_fraction
+    res = kernels.run_walk((
+        seg_lens_a, seg_groups_a, ext_t.astype(np.int64),
+        pend_ev, pend_blk, cand,
+        perm, reco, eff, lim, free_arr, len(free0),
+        victims, alive_ext_of, closed_flag, prefix,
+        heap_k, heap_b, pheap_e, pheap_b,
+        upb, low, high, num_groups,
+        stop_erases is not None,
+        stop_erases if stop_erases is not None else 0,
+        active0 if active0 is not None else -1, a0,
+        bool(b0_pre), b0_extra, never_cap,
+        ftl._erases_since_wl_check,
+        cfg.static_check_interval, cfg.static_delta_threshold,
+        bool(cfg.dynamic), bool(cfg.static_enabled),
+        frac, 1.0 - frac, _SCORE_GUARD,
+    ))
+    status, n_erased, m, C, wl_ctr, active_f, aoff_f, nf, nv = res
+    if status != 0:
+        return None
+    if nv:
+        vic_u = np.unique(victims[:nv])
+        vic_perm = perm[vic_u]
+        vic_reco = reco[vic_u]
+        vic_eff = eff[vic_u]
+    else:
+        vic_u = np.empty(0, dtype=np.int64)
+        vic_perm = np.empty(0)
+        vic_reco = np.empty(0)
+        vic_eff = np.empty(0)
+    a_blocks = np.nonzero(alive_ext_of >= 0)[0]
+    ks = alive_ext_of[a_blocks]
+    cb_arr = np.nonzero(closed_flag)[0]
+    cb = cb_arr if cb_arr.size else None
+    active = int(active_f) if active_f >= 0 else None
+    seg_cut = int(np.searchsorted(seg_groups_a, m))
+    return (
+        vic_u, vic_perm, vic_reco, vic_eff, int(n_erased),
+        a_blocks, ks, cb,
+        tuple(int(b) for b in free_arr[:nf]),
+        active, int(aoff_f), int(wl_ctr),
+        int(m), int(C), [int(x) for x in prefix[:m]], seg_cut,
+    )
+
+
+def commit_planned_burst(ftl, plan: BurstPlan) -> None:
+    """Commit a finalized plan's end state in vectorized passes.
+
+    Shared verbatim between the fresh path (plan just derived) and the
+    plan cache's replay path (plan validated by exact probe), which is
+    what makes a replayed window bit-identical to a fresh one: the same
+    scatters run on the same committed values, and anything derived from
+    live state (P/E cache validity, queue hint infimum rules, float
+    accumulation) is re-derived here, not replayed from a recording.
+    """
+    pkg = ftl.package
+    upb = ftl.units_per_block
+    n_blocks = ftl._num_blocks
+    queue = ftl._gc_queue
+    hint0 = queue._min_hint
+    n_erased = plan.n_erased
+
     stats = ftl.stats
-    stats.host_pages_requested += host_pages
-    stats.host_pages_programmed += host_pages
-    stats.rmw_pages_programmed += rmw_pages
-    stats.pages_read += rmw_pages
+    stats.host_pages_requested += plan.host_pages
+    stats.host_pages_programmed += plan.host_pages
+    stats.rmw_pages_programmed += plan.rmw_pages
+    stats.pages_read += plan.rmw_pages
     stats.gc_runs += n_erased
     stats.blocks_erased += n_erased
     counters = pkg.counters
-    counters.page_programs += C * ftl.unit_pages
-    counters.page_reads += rmw_pages
-    ftl._erases_since_wl_check = wl_ctr
+    counters.page_programs += plan.units_executed * ftl.unit_pages
+    counters.page_reads += plan.rmw_pages
+    ftl._erases_since_wl_check = plan.wl_ctr_final
 
     valid = ftl._valid
     vcount = ftl._valid_count
 
     # Pre-burst mappings overwritten by executed writes go invalid.
-    old_exec = old_ppu[old_pos < C] if old_ppu.size else old_ppu
+    old_exec = plan.old_exec
     if old_exec.size:
         valid[old_exec] = False
         delta = np.bincount(old_exec // upb, minlength=n_blocks)
         np.subtract(vcount, delta, out=vcount)
 
     # Erased blocks: final wear plus a full per-block state reset.
-    if victims:
-        vic_u = np.unique(np.array(victims, dtype=np.int64))
-        vl = vic_u.tolist()
+    vic_u = plan.vic_u
+    if vic_u.size:
         pkg.apply_erase_burst(
-            vic_u,
-            np.array([perm_l[v] for v in vl]),
-            np.array([reco_l[v] for v in vl]),
-            np.array([eff_l[v] for v in vl]),
-            n_erased,
+            vic_u, plan.vic_perm, plan.vic_reco, plan.vic_eff, n_erased
         )
         ftl._p2l.reshape(n_blocks, upb)[vic_u] = -1
         valid.reshape(n_blocks, upb)[vic_u] = False
@@ -440,33 +697,20 @@ def execute_write_burst(
     # Scatter the surviving in-burst placements: per alive extent, the
     # placed units' reverse map, validity, per-block counts, and the
     # forward map of each LPN's last executed write.
-    items = list(alive.items())
-    a_blocks = np.array([b for b, _ in items], dtype=np.int64)
-    ks = np.array([k for _, k in items], dtype=np.int64)
-    starts = ext_starts[ks]
-    ends = np.minimum(ext_ends[ks], C)
-    lens = ends - starts
-    slot0 = a_blocks * upb
-    if b0_pre:
-        slot0 = slot0 + np.where(ks == 0, a0, 0)
-    red = lens.cumsum() - lens
-    tot = int(lens.sum())
-    intra = np.arange(tot, dtype=np.int64) - np.repeat(red, lens)
-    ppus = np.repeat(slot0, lens) + intra
-    sidx = np.repeat(starts, lens) + intra
-    su = U[sidx]
-    sv = nxt[sidx] >= C
+    ppus = plan.ppus
+    su = plan.su
+    sv = plan.sv
     ftl._p2l[ppus] = su
     valid[ppus] = sv
-    vcount[a_blocks] += np.add.reduceat(sv.astype(np.int64), red)
+    vcount[plan.a_blocks] += np.add.reduceat(sv.astype(np.int64), plan.red)
     ftl._l2p[su[sv]] = ppus[sv]
-    if closed_in_burst:
-        cb = np.fromiter(closed_in_burst, dtype=np.int64, count=len(closed_in_burst))
+    cb = plan.cb
+    if cb is not None:
         ftl._closed[cb] = True
 
-    ftl._free_blocks[:] = free
-    ftl._active_block = active
-    ftl._active_offset = aoff
+    ftl._free_blocks[:] = plan.free_final
+    ftl._active_block = plan.active_final
+    ftl._active_offset = plan.aoff_final
 
     # Victim-queue end state.  Tracked counts always equal the valid
     # counts (add/apply_delta maintain that), so membership + counts
@@ -482,16 +726,13 @@ def execute_write_burst(
         queue._min_hint = 0
     else:
         hint = hint0
-        if old_exec.size:
-            hb = np.unique(old_exec // upb)
-            hb = hb[tracked0[hb]]
-            if hb.size:
-                lowest = int(vcount[hb].min())
-                if lowest < hint:
-                    hint = lowest
-        if closed_in_burst:
+        hb = plan.hb
+        if hb is not None:
+            lowest = int(vcount[hb].min())
+            if lowest < hint:
+                hint = lowest
+        if cb is not None:
             lowest = int(vcount[cb].min())
             if lowest < hint:
                 hint = lowest
         queue._min_hint = hint
-    return m

@@ -1,0 +1,408 @@
+"""Opt-in compiled walk kernel for the fused burst planner.
+
+``REPRO_KERNEL=numba`` routes the burst planner's inner loop — the
+per-block-fill walk of :mod:`repro.ftl.burst` — through the array-based
+transcription below.  When numba is importable the function is jitted
+(``@njit(cache=True)``); when it is not, the *same function* runs
+interpreted, so the path stays locally testable in environments without
+numba and CI can assert digest identity with and without the JIT.
+
+The transcription is line-for-line faithful to the reference walk in
+``burst.py``: identical IEEE-754 operations in identical order on the
+same float64 values, and binary heaps over unique ``(key, block)``
+pairs — any correct min-heap pops a uniquely-ordered key set in the
+same sequence, so victim order matches ``heapq`` exactly.  The golden
+digests in tests/test_ftl_equivalence.py and the dedicated equivalence
+tests hold the line.
+
+Dicts, sets, and Python lists are replaced by fixed arrays:
+
+- the GC candidate heap is a ``(float64 key, int64 block)`` array pair,
+- the pending exhaust-event heap an ``(int64 event, int64 block)`` pair,
+- the free list a front-popped int64 array (order preserved exactly),
+- ``alive``/``closed_in_burst`` become per-block marker arrays.
+
+Status codes: 0 = clean plan, 1 = bail (scalar path must replay),
+2 = capacity overflow (never expected; treated as a bail).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_ENV = os.environ.get("REPRO_KERNEL", "").strip().lower()
+_selected: str = _ENV if _ENV in ("numba",) else ""
+_compiled = None
+_jitted = False
+
+
+def select(name: str) -> None:
+    """Select the walk implementation ("numba" or "" for the default
+    inline walk); test hook mirroring the REPRO_KERNEL variable."""
+    global _selected, _compiled, _jitted
+    _selected = name if name in ("numba",) else ""
+    _compiled = None
+    _jitted = False
+
+
+def walk_selected() -> bool:
+    """True when the burst planner should route through :func:`walk`."""
+    return _selected == "numba"
+
+
+def kernel_info() -> dict:
+    """Selection + JIT status, for diagnostics and tests."""
+    get_walk()
+    return {"selected": _selected or "inline", "jitted": _jitted}
+
+
+def get_walk():
+    """The walk callable: jitted when numba is importable, the same
+    function interpreted otherwise (guarded import — numba is an
+    optional dependency and absent from the default environment)."""
+    global _compiled, _jitted
+    if _compiled is None:
+        impl = _walk
+        if _selected == "numba":
+            try:
+                import numba
+
+                jit = numba.njit(cache=True)
+                global _hpush, _hpop, _ipush, _ipop
+                _hpush = jit(_hpush_py)
+                _hpop = jit(_hpop_py)
+                _ipush = jit(_ipush_py)
+                _ipop = jit(_ipop_py)
+                impl = jit(_walk)
+                _jitted = True
+            except ImportError:
+                _jitted = False
+        _compiled = impl
+    return _compiled
+
+
+# ----------------------------------------------------------------------
+# Array heaps.  Keys are unique (key, block) pairs — ties on the key
+# break on the block id, exactly like heapq's tuple comparison — so the
+# pop sequence is the sorted order regardless of internal layout.
+# ----------------------------------------------------------------------
+
+
+def _hpush_py(hk, hb, n, key, blk):
+    i = n
+    hk[i] = key
+    hb[i] = blk
+    while i > 0:
+        p = (i - 1) >> 1
+        if hk[p] > hk[i] or (hk[p] == hk[i] and hb[p] > hb[i]):
+            hk[p], hk[i] = hk[i], hk[p]
+            hb[p], hb[i] = hb[i], hb[p]
+            i = p
+        else:
+            break
+    return n + 1
+
+
+def _hpop_py(hk, hb, n):
+    key = hk[0]
+    blk = hb[0]
+    n -= 1
+    hk[0] = hk[n]
+    hb[0] = hb[n]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= n:
+            break
+        right = left + 1
+        small = left
+        if right < n and (
+            hk[right] < hk[left] or (hk[right] == hk[left] and hb[right] < hb[left])
+        ):
+            small = right
+        if hk[small] < hk[i] or (hk[small] == hk[i] and hb[small] < hb[i]):
+            hk[i], hk[small] = hk[small], hk[i]
+            hb[i], hb[small] = hb[small], hb[i]
+            i = small
+        else:
+            break
+    return key, blk, n
+
+
+def _ipush_py(he, hb, n, ev, blk):
+    i = n
+    he[i] = ev
+    hb[i] = blk
+    while i > 0:
+        p = (i - 1) >> 1
+        if he[p] > he[i] or (he[p] == he[i] and hb[p] > hb[i]):
+            he[p], he[i] = he[i], he[p]
+            hb[p], hb[i] = hb[i], hb[p]
+            i = p
+        else:
+            break
+    return n + 1
+
+
+def _ipop_py(he, hb, n):
+    ev = he[0]
+    blk = hb[0]
+    n -= 1
+    he[0] = he[n]
+    hb[0] = hb[n]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= n:
+            break
+        right = left + 1
+        small = left
+        if right < n and (
+            he[right] < he[left] or (he[right] == he[left] and hb[right] < hb[left])
+        ):
+            small = right
+        if he[small] < he[i] or (he[small] == he[i] and hb[small] < hb[i]):
+            he[i], he[small] = he[small], he[i]
+            hb[i], hb[small] = hb[small], hb[i]
+            i = small
+        else:
+            break
+    return ev, blk, n
+
+
+_hpush = _hpush_py
+_hpop = _hpop_py
+_ipush = _ipush_py
+_ipop = _ipop_py
+
+
+def _walk(
+    seg_lens,
+    seg_groups,
+    ext_t,
+    pend_ev0,
+    pend_blk0,
+    cand_blk,
+    perm,
+    reco,
+    eff,
+    limit,
+    free_arr,
+    n_free0,
+    victims,
+    alive_ext_of,
+    closed_flag,
+    prefix,
+    heap_k,
+    heap_b,
+    pheap_e,
+    pheap_b,
+    upb,
+    low,
+    high,
+    num_groups,
+    stop_has,
+    stop_erases,
+    active0,
+    a0,
+    b0_pre,
+    b0_extra,
+    never_cap,
+    wl_ctr0,
+    wl_interval,
+    wl_threshold,
+    dynamic,
+    static_enabled,
+    frac,
+    one_minus,
+    score_guard,
+):
+    """The reference walk of repro.ftl.burst over arrays.
+
+    Returns ``(status, n_erased, m, C, wl_ctr, active_f, aoff_f,
+    n_free_f, n_victims)``; ``active_f`` is -1 for "no active block".
+    """
+    hn = 0
+    for t in range(cand_blk.shape[0]):
+        b = cand_blk[t]
+        hn = _hpush(heap_k, heap_b, hn, eff[b], b)
+    pn = 0
+    for t in range(pend_ev0.shape[0]):
+        pn = _ipush(pheap_e, pheap_b, pn, pend_ev0[t], pend_blk0[t])
+
+    nf = n_free0
+    n_erased = 0
+    nv = 0
+    wl_ctr = wl_ctr0
+    active = active0
+    aoff = a0
+    if b0_pre:
+        alive_ext_of[active0] = 0
+        next_ext = 1
+    else:
+        next_ext = 0
+    n_segs = seg_lens.shape[0]
+    n_blocks = perm.shape[0]
+    vcap = victims.shape[0]
+    pos = 0
+    seg_i = 0
+    m = 0
+    for group in range(num_groups):
+        while seg_i < n_segs and seg_groups[seg_i] == group:
+            s_end = pos + seg_lens[seg_i]
+            idx = pos
+            while idx < s_end:
+                if active < 0:
+                    if nf <= low:
+                        while pn > 0 and pheap_e[0] <= idx:
+                            ev_, b, pn = _ipop(pheap_e, pheap_b, pn)
+                            hn = _hpush(heap_k, heap_b, hn, eff[b], b)
+                        scan_eff = 0.0
+                        scan_valid = False
+                        scan_g = 0.0
+                        scan_g_has = False
+                        while nf < high:
+                            if hn == 0:
+                                return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                            eff_v, v, hn = _hpop(heap_k, heap_b, hn)
+                            if hn > 0:
+                                gap = heap_k[0]
+                                gap_has = True
+                                if gap == eff_v:
+                                    if not scan_valid or scan_eff != eff_v:
+                                        scan_g_has = False
+                                        scan_g = 0.0
+                                        for t in range(hn):
+                                            e_ = heap_k[t]
+                                            if e_ != eff_v and (
+                                                not scan_g_has or e_ < scan_g
+                                            ):
+                                                scan_g = e_
+                                                scan_g_has = True
+                                        scan_eff = eff_v
+                                        scan_valid = True
+                                    gap = scan_g
+                                    gap_has = scan_g_has
+                                if gap_has and gap - eff_v <= (
+                                    gap if gap > 1.0 else 1.0
+                                ) * score_guard:
+                                    return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                            p_ = perm[v] + one_minus
+                            r_ = reco[v] + frac
+                            e_ = p_ + r_
+                            if e_ >= limit[v]:
+                                return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                            perm[v] = p_
+                            reco[v] = r_
+                            eff[v] = e_
+                            free_arr[nf] = v
+                            nf += 1
+                            alive_ext_of[v] = -1
+                            closed_flag[v] = 0
+                            if nv >= vcap:
+                                return 2, 0, 0, 0, 0, 0, 0, 0, 0
+                            victims[nv] = v
+                            nv += 1
+                            n_erased += 1
+                            wl_ctr += 1
+                        if static_enabled and wl_ctr >= wl_interval:
+                            wl_ctr = 0
+                            emax = eff[0]
+                            emin = eff[0]
+                            for t in range(1, n_blocks):
+                                e_ = eff[t]
+                                if e_ > emax:
+                                    emax = e_
+                                if e_ < emin:
+                                    emin = e_
+                            if emax - emin > wl_threshold:
+                                return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                    if nf == 0:
+                        return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                    if not dynamic or nf == 1:
+                        active = free_arr[0]
+                        for t in range(1, nf):
+                            free_arr[t - 1] = free_arr[t]
+                        nf -= 1
+                    else:
+                        active = free_arr[0]
+                        best_pe = eff[active]
+                        bi = 0
+                        for t in range(1, nf):
+                            blk = free_arr[t]
+                            v_ = eff[blk]
+                            if v_ < best_pe:
+                                active = blk
+                                best_pe = v_
+                                bi = t
+                        for t in range(bi + 1, nf):
+                            free_arr[t - 1] = free_arr[t]
+                        nf -= 1
+                    aoff = 0
+                    alive_ext_of[active] = next_ext
+                    next_ext += 1
+                safe = nf - low
+                if safe < 0:
+                    safe = 0
+                end = idx + (upb - aoff) + safe * upb
+                if end > s_end:
+                    end = s_end
+                p = idx
+                while True:
+                    room = upb - aoff
+                    take = end - p if end - p < room else room
+                    aoff += take
+                    p += take
+                    if aoff == upb:
+                        k = alive_ext_of[active]
+                        ev = ext_t[k] + 1
+                        if p > ev:
+                            ev = p
+                        if k == 0 and b0_pre and b0_extra > ev:
+                            ev = b0_extra
+                        if ev < never_cap:
+                            pn = _ipush(pheap_e, pheap_b, pn, ev, active)
+                        closed_flag[active] = 1
+                        active = -1
+                        aoff = 0
+                        if p < end:
+                            if nf == 0:
+                                return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                            if not dynamic or nf == 1:
+                                active = free_arr[0]
+                                for t in range(1, nf):
+                                    free_arr[t - 1] = free_arr[t]
+                                nf -= 1
+                            else:
+                                active = free_arr[0]
+                                best_pe = eff[active]
+                                bi = 0
+                                for t in range(1, nf):
+                                    blk = free_arr[t]
+                                    v_ = eff[blk]
+                                    if v_ < best_pe:
+                                        active = blk
+                                        best_pe = v_
+                                        bi = t
+                                for t in range(bi + 1, nf):
+                                    free_arr[t - 1] = free_arr[t]
+                                nf -= 1
+                            alive_ext_of[active] = next_ext
+                            next_ext += 1
+                            continue
+                    break
+                idx = end
+            pos = s_end
+            seg_i += 1
+        m = group + 1
+        prefix[group] = n_erased
+        if stop_has and n_erased >= stop_erases:
+            break
+    return 0, n_erased, m, pos, wl_ctr, active, aoff, nf, nv
+
+
+def run_walk(args) -> Optional[tuple]:
+    """Invoke the selected walk implementation with the argument tuple
+    assembled by the burst planner; returns the raw result tuple."""
+    return get_walk()(*args)

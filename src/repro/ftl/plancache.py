@@ -1,0 +1,493 @@
+"""Megaburst plan cache (DESIGN.md §14).
+
+Steady-state wear-out trajectories execute the same fused burst over and
+over: the clean-path proof and placement plan that
+:mod:`repro.ftl.burst` derives from scratch on every ``write_burst``
+call are a *pure function* of a small set of simulator state components
+— the pattern-RNG phase, the FTL's free-list order and per-block wear,
+the GC queue counts, and the filesystem's journal/node cursors.  This
+module memoizes whole ``step_batch`` windows on an **exact-equality
+probe** of precisely those components, so a repeated trajectory pays
+only the vectorized apply.
+
+Soundness is by construction, not by hashing: a cached plan replays
+only when *every value the planner reads* compares equal to the value
+it read at capture time (the probe), and the replay re-executes the
+same vectorized commit the fresh path runs
+(:func:`repro.ftl.burst.commit_planned_burst`), so any state the commit
+derives from current values — P/E cache validity, float accumulation
+order on the device clock — behaves exactly as a fresh plan would.
+Anything the probe does not cover is either never read by the fused
+path (read-set audit in DESIGN.md §14) or makes the fused path bail
+before a plan exists.  Conservative invalidation therefore falls out
+for free: a mutation to any probed component changes the probe and
+misses; a mutation to an unprobed component cannot change the outcome.
+
+The cache is process-global (steady-state reuse spans experiments: a
+warm-start grid's deeper points replay the shallower points' windows)
+and size-capped by plan bytes with LRU eviction.  ``REPRO_PLAN_CACHE=0``
+in the environment, or :func:`configure`, disables it; captures are
+orchestrated through a single active slot (the simulator is
+single-threaded per process; campaign workers each own a process).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Entries kept per static key (same config + window length, different
+#: state phases).  Trajectory phases repeat quickly; 32 covers every
+#: observed steady state with room for level-boundary variants.
+_MAX_ENTRIES_PER_KEY = 32
+
+
+@dataclass
+class BurstPlan:
+    """Finalized products of one fused-burst plan (repro.ftl.burst).
+
+    Everything :func:`repro.ftl.burst.commit_planned_burst` needs to
+    apply the burst, plus the probe data (``probe_lpns``/``probe_old``,
+    ``erase_prefix``) the cache needs to validate a replay.  All arrays
+    are owned by the plan (never views of live FTL state).
+    """
+
+    executed_groups: int
+    num_groups: int
+    units_executed: int
+    n_erased: int
+    host_pages: int
+    rmw_pages: int
+    wl_ctr_final: int
+    old_exec: np.ndarray
+    vic_u: np.ndarray
+    vic_perm: np.ndarray
+    vic_reco: np.ndarray
+    vic_eff: np.ndarray
+    a_blocks: np.ndarray
+    red: np.ndarray
+    ppus: np.ndarray
+    su: np.ndarray
+    sv: np.ndarray
+    cb: Optional[np.ndarray]
+    hb: Optional[np.ndarray]
+    free_final: Tuple[int, ...]
+    active_final: Optional[int]
+    aoff_final: int
+    erase_prefix: List[int]
+    probe_lpns: np.ndarray
+    probe_old: np.ndarray
+
+    def nbytes(self) -> int:
+        total = 512  # object + scalar overhead, roughly
+        for arr in (
+            self.old_exec, self.vic_u, self.vic_perm, self.vic_reco,
+            self.vic_eff, self.a_blocks, self.red, self.ppus, self.su,
+            self.sv, self.cb, self.hb, self.probe_lpns, self.probe_old,
+        ):
+            if arr is not None:
+                total += arr.nbytes
+        total += 8 * (len(self.free_final) + len(self.erase_prefix))
+        return total
+
+
+@dataclass
+class _Entry:
+    """One cached ``step_batch`` window: probe + every replay product."""
+
+    probe: tuple
+    plan: BurstPlan
+    seg_durations: List[float]
+    durations: List[float]
+    host_delta: int
+    app_delta: int
+    fs_state: tuple
+    pattern_end: tuple
+    next_file_end: int
+    nbytes: int
+
+
+class _Capture:
+    """Active capture slot: layers deposit their contributions here
+    while a cache-miss window executes through the fresh path.
+
+    The probe was taken at lookup time; nothing between the lookup and
+    the FTL kernel mutates probed state (pattern draws and segment
+    compilation are read-only over it), so it is also the capture-time
+    probe.
+    """
+
+    __slots__ = ("key", "probe", "plan", "seg_durations", "host_delta",
+                 "fs_state", "app_delta")
+
+    def __init__(self, key: tuple, probe: tuple):
+        self.key = key
+        self.probe = probe
+        self.plan: Optional[BurstPlan] = None
+        self.seg_durations: Optional[List[float]] = None
+        self.host_delta = 0
+        self.fs_state: Optional[tuple] = None
+        self.app_delta = 0
+
+
+@dataclass
+class PlanCache:
+    """Exact-probe memo of fused burst windows, byte-capped LRU."""
+
+    max_bytes: int = 256 * 1024 * 1024
+    enabled: bool = True
+    _entries: "OrderedDict[tuple, List[_Entry]]" = field(default_factory=OrderedDict)
+    _bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    captures: int = 0
+    evictions: int = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.captures = self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "captures": self.captures,
+            "evictions": self.evictions,
+            "entries": sum(len(v) for v in self._entries.values()),
+            "bytes": self._bytes,
+        }
+
+    def find(self, key: tuple, probe: tuple, l2p, stop_rel) -> Optional[_Entry]:
+        bucket = self._entries.get(key)
+        if bucket is None:
+            self.misses += 1
+            return None
+        for entry in bucket:
+            if entry.probe != probe:
+                continue
+            plan = entry.plan
+            if not _stop_matches(plan, stop_rel):
+                continue
+            if plan.probe_lpns.size and not np.array_equal(
+                l2p[plan.probe_lpns], plan.probe_old
+            ):
+                continue
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def insert(self, key: tuple, entry: _Entry) -> None:
+        bucket = self._entries.setdefault(key, [])
+        bucket.append(entry)
+        self._bytes += entry.nbytes
+        self.captures += 1
+        if len(bucket) > _MAX_ENTRIES_PER_KEY:
+            dropped = bucket.pop(0)
+            self._bytes -= dropped.nbytes
+            self.evictions += 1
+        self._entries.move_to_end(key)
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, old_bucket = self._entries.popitem(last=False)
+            for dropped in old_bucket:
+                self._bytes -= dropped.nbytes
+                self.evictions += 1
+
+
+def _stop_matches(plan: BurstPlan, stop_rel: Optional[int]) -> bool:
+    """True when a fresh walk under ``stop_rel`` would truncate at the
+    plan's recorded group count.
+
+    The walk reads the erase budget only at group boundaries, so its
+    placement decisions are independent of the budget up to the cut;
+    the cut itself is determined by the recorded cumulative erase
+    prefix.  Equal cut == identical fresh outcome.
+    """
+    m = plan.executed_groups
+    if stop_rel is None:
+        return m == plan.num_groups
+    g = bisect_left(plan.erase_prefix, stop_rel)
+    if g < m:
+        return g == m - 1
+    return m == plan.num_groups
+
+
+# ----------------------------------------------------------------------
+# Probes
+# ----------------------------------------------------------------------
+
+
+def _freeze(obj: Any) -> Any:
+    """Canonical hashable form of a (possibly nested) RNG state dict."""
+    if isinstance(obj, dict):
+        return tuple((k, _freeze(v)) for k, v in sorted(obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(v) for v in obj)
+    if isinstance(obj, np.ndarray):
+        return (obj.dtype.str, obj.shape, obj.tobytes())
+    return obj
+
+
+def freeze_state(state: Any) -> Any:
+    """Public alias used by the workload's pattern-state export."""
+    return _freeze(state)
+
+
+def _ftl_probe(ftl) -> tuple:
+    """Exact values of every FTL/flash component the planner reads."""
+    pkg = ftl.package
+    queue = ftl._gc_queue
+    return (
+        ftl.read_only,
+        ftl._in_reclaim,
+        ftl._obs is None,
+        pkg._obs is None,
+        pkg._num_bad,
+        type(ftl._victim_policy).__name__,
+        tuple(ftl._free_blocks),
+        ftl._active_block,
+        ftl._active_offset,
+        ftl._erases_since_wl_check,
+        ftl._closed.tobytes(),
+        ftl._valid_count.tobytes(),
+        queue._count_of.tobytes(),
+        queue._min_hint,
+        pkg._pe_permanent.tobytes(),
+        pkg._pe_recoverable.tobytes(),
+        pkg._cycle_limit.tobytes(),
+        pkg.healing.recoverable_fraction,
+    )
+
+
+def workload_probe(workload) -> Optional[tuple]:
+    """Dynamic probe for a FileRewriteWorkload window: pattern phases,
+    round-robin cursor, filesystem cursors, and the FTL/flash probe."""
+    fs = workload.fs
+    fs_probe = fs._plan_probe()
+    if fs_probe is None:
+        return None
+    device = fs.device
+    if getattr(device, "timing", None) is not None:
+        return None
+    if getattr(device, "failed", False):
+        return None  # write_burst would refuse; never replay into it
+    ftl = device.ftl
+    if not hasattr(ftl, "_gc_queue"):
+        return None  # hybrid / duck-typed FTLs: the fused path bails anyway
+    return (
+        workload._export_pattern_states(),
+        workload._next_file,
+        fs_probe,
+        _ftl_probe(ftl),
+    )
+
+
+def static_key(workload, n: int) -> tuple:
+    """Configuration identity of a window: everything immutable that
+    shapes the plan (geometry, perf curve, file layout, window length)."""
+    fs = workload.fs
+    device = fs.device
+    ftl = device.ftl
+    cfg = ftl.wl_config
+    perf = device.perf
+    return (
+        n,
+        workload.request_bytes,
+        workload.batch_requests,
+        tuple((f.extent_start, f.size) for f in workload.files),
+        tuple(type(g).__name__ for g in workload._generators),
+        type(fs).__name__,
+        device.name,
+        device.scale,
+        device.page_size,
+        ftl.unit_bytes,
+        ftl.unit_pages,
+        ftl.units_per_block,
+        ftl._num_blocks,
+        ftl.gc_low_water,
+        ftl.gc_high_water,
+        ftl.num_logical_units,
+        cfg.dynamic,
+        cfg.static_enabled,
+        cfg.static_check_interval,
+        cfg.static_delta_threshold,
+        perf.peak_write_mib_s,
+        perf.write_half_size,
+    )
+
+
+def resolve_stop(workload, budget) -> Tuple[bool, Optional[int]]:
+    """Replicate ``BlockDevice.write_burst``'s budget folding.
+
+    Returns ``(ok, stop_rel)``: ``ok`` is False when the budget names a
+    foreign counter (the device layer would refuse the fused path, so
+    the cache must stay out of the way) and ``stop_rel`` is the minimal
+    further-erase allowance, or None for an unbounded window.
+    """
+    if budget is None:
+        return True, None
+    package = getattr(workload.fs.device.ftl, "package", None)
+    if package is None:
+        return False, None  # hybrid FTL: the fused path refuses anyway
+    counters = package.counters
+    stop = None
+    for ctr, threshold in budget:
+        if ctr is not counters:
+            return False, None
+        remaining = threshold - ctr.block_erases
+        if stop is None or remaining < stop:
+            stop = remaining
+    return True, stop
+
+
+# ----------------------------------------------------------------------
+# Module-global cache + capture orchestration
+# ----------------------------------------------------------------------
+
+_cache = PlanCache(
+    enabled=os.environ.get("REPRO_PLAN_CACHE", "1").lower() not in ("0", "off", "false"),
+)
+_active: Optional[_Capture] = None
+
+
+def cache() -> PlanCache:
+    return _cache
+
+
+def configure(enabled: Optional[bool] = None, max_bytes: Optional[int] = None) -> None:
+    if enabled is not None:
+        _cache.enabled = enabled
+        if not enabled:
+            abort_capture()
+    if max_bytes is not None:
+        _cache.max_bytes = max_bytes
+
+
+def clear() -> None:
+    _cache.clear()
+
+
+def stats() -> Dict[str, int]:
+    return _cache.stats()
+
+
+class disabled:
+    """Context manager: run a block with the plan cache off (benches
+    and differential tests)."""
+
+    def __enter__(self):
+        self._prev = _cache.enabled
+        configure(enabled=False)
+        return self
+
+    def __exit__(self, *exc):
+        configure(enabled=self._prev)
+        return False
+
+
+def active_capture() -> Optional[_Capture]:
+    return _active
+
+
+def abort_capture() -> None:
+    global _active
+    _active = None
+
+
+def lookup(workload, n: int, budget):
+    """Try to serve a whole ``step_batch(n, budget)`` window from cache.
+
+    Returns the ``(durations, byte_counts, bricked)`` triple with every
+    layer's state advanced exactly as the fresh fused path would, or
+    None on a miss — in which case a capture slot is armed when the
+    window is cacheable, and the caller must run the fresh path and
+    finish with :func:`finish_capture` (success) or
+    :func:`abort_capture` (fallback to scalar).
+    """
+    global _active
+    _active = None
+    if not _cache.enabled:
+        return None
+    ok, stop_rel = resolve_stop(workload, budget)
+    if not ok:
+        return None
+    probe = workload_probe(workload)
+    if probe is None:
+        return None
+    key = static_key(workload, n)
+    ftl = workload.fs.device.ftl
+    entry = _cache.find(key, probe, ftl._l2p, stop_rel)
+    if entry is None:
+        _active = _Capture(key, probe)
+        return None
+    _replay(workload, entry)
+    m = entry.plan.executed_groups
+    app_bytes = workload.batch_requests * workload.request_bytes
+    return list(entry.durations), [app_bytes] * m, False
+
+
+def _replay(workload, entry: _Entry) -> None:
+    """Advance every layer to the window's end state.
+
+    Mirrors the fresh path's mutation set exactly: the FTL/flash commit
+    re-runs the shared vectorized apply, device/fs/workload counters
+    advance by the recorded deltas, and the device clock accumulates
+    per-segment durations in the fresh path's float order.
+    """
+    from repro.ftl.burst import commit_planned_burst
+
+    fs = workload.fs
+    device = fs.device
+    ftl = device.ftl
+    pkg = ftl.package
+    # Prologue cache validation, exactly as the fresh planner's entry.
+    pkg.pe_counts
+    pkg.max_pe_count
+    commit_planned_burst(ftl, entry.plan)
+    device.host_bytes_written += entry.host_delta
+    busy = device.busy_seconds
+    for d in entry.seg_durations:
+        busy += d
+    device.busy_seconds = busy
+    fs.app_bytes_written += entry.app_delta
+    fs._burst_commit((entry.fs_state,), 1)
+    workload._import_pattern_states(entry.pattern_end)
+    workload._next_file = entry.next_file_end
+
+
+def finish_capture(cap: _Capture, durations: List[float], workload) -> None:
+    """Store a completed window captured through the fresh path.
+
+    Silently drops the capture when any layer failed to deposit its
+    contribution (a scalar fallback taken after the plan, a filesystem
+    without burst hooks, ...) — caching is best-effort, correctness
+    lives in the probes.
+    """
+    global _active
+    if cap is not _active:
+        return
+    _active = None
+    if cap.plan is None or cap.seg_durations is None or cap.fs_state is None:
+        return
+    entry = _Entry(
+        probe=cap.probe,
+        plan=cap.plan,
+        seg_durations=cap.seg_durations,
+        durations=list(durations),
+        host_delta=cap.host_delta,
+        app_delta=cap.app_delta,
+        fs_state=cap.fs_state,
+        pattern_end=workload._export_pattern_state_values(),
+        next_file_end=workload._next_file,
+        nbytes=cap.plan.nbytes() + 16 * (len(durations) + len(cap.seg_durations)) + 512,
+    )
+    _cache.insert(cap.key, entry)

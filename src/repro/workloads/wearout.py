@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fs.interface import File, FileSystem
+from repro.ftl import plancache
 from repro.rng import SeedLike, substream
 from repro.units import KIB, MIB
 from repro.workloads.patterns import RandomPattern, SequentialPattern, StridePattern
@@ -149,10 +150,26 @@ class FileRewriteWorkload:
         pattern generators and replays exactly ``m`` draws, so their
         state (and any snapshot taken afterwards) is bit-identical to a
         scalar run of ``m`` steps.
+
+        Whole windows are memoized by the megaburst plan cache
+        (DESIGN.md §14): an exact-probe hit advances every layer through
+        the shared vectorized commit and returns immediately; a miss
+        arms a capture that stores this window for the next identical
+        phase of the trajectory.
         """
         fs_burst = getattr(self.fs, "write_requests_burst", None)
         if n < 1 or not self.sync or fs_burst is None:
             return None
+        eligible = getattr(self.fs.device, "burst_eligible", None)
+        if eligible is not None and not eligible():
+            # Statically ineligible device (hybrid FTL, event timing,
+            # read-only): skip the whole-window pre-draw, not just the
+            # burst — the caller replays through the scalar path.
+            return None
+        hit = plancache.lookup(self, n, budget)
+        if hit is not None:
+            return hit
+        cap = plancache.active_capture()
         num_files = len(self.files)
         start_file = self._next_file
         saved = self._capture_pattern_state()
@@ -164,6 +181,7 @@ class FileRewriteWorkload:
         out = fs_burst(plans, self.request_bytes, budget)
         if out is None:
             self._restore_pattern_state(saved)
+            plancache.abort_capture()
             return None
         m, durations = out
         if m < n:
@@ -173,6 +191,8 @@ class FileRewriteWorkload:
                 self._generators[index].next_batch(self.batch_requests)
         self._next_file = (start_file + m) % num_files
         app_bytes = self.batch_requests * self.request_bytes
+        if cap is not None:
+            plancache.finish_capture(cap, durations, self)
         return durations, [app_bytes] * m, False
 
     def _capture_pattern_state(self):
@@ -199,3 +219,52 @@ class FileRewriteWorkload:
                 target.bit_generator.state = value
             else:
                 target._cursor = value
+
+    # ------------------------------------------------------------------
+    # Plan-cache pattern-state protocol (DESIGN.md §14).  Unlike the
+    # rewind snapshot above, these are *positional* (no object
+    # references), so a state captured in one window can be compared and
+    # re-applied in a later, state-identical window.  Distinct RNG
+    # objects are visited once, in generator order (random patterns may
+    # share the workload substream's Generator).
+    # ------------------------------------------------------------------
+
+    def _export_pattern_states(self):
+        """Hashable positional probe of every generator's phase."""
+        entries = []
+        seen = set()
+        for generator in self._generators:
+            rng = getattr(generator, "_rng", None)
+            if rng is not None and id(rng) not in seen:
+                seen.add(id(rng))
+                entries.append(("rng", plancache.freeze_state(rng.bit_generator.state)))
+            if hasattr(generator, "_cursor"):
+                entries.append(("cursor", generator._cursor))
+        return tuple(entries)
+
+    def _export_pattern_state_values(self):
+        """Settable positional snapshot (raw RNG state dicts)."""
+        entries = []
+        seen = set()
+        for generator in self._generators:
+            rng = getattr(generator, "_rng", None)
+            if rng is not None and id(rng) not in seen:
+                seen.add(id(rng))
+                entries.append(("rng", rng.bit_generator.state))
+            if hasattr(generator, "_cursor"):
+                entries.append(("cursor", generator._cursor))
+        return tuple(entries)
+
+    def _import_pattern_states(self, entries) -> None:
+        """Apply a positional snapshot from :meth:`_export_pattern_state_values`."""
+        it = iter(entries)
+        seen = set()
+        for generator in self._generators:
+            rng = getattr(generator, "_rng", None)
+            if rng is not None and id(rng) not in seen:
+                seen.add(id(rng))
+                _, value = next(it)
+                rng.bit_generator.state = value
+            if hasattr(generator, "_cursor"):
+                _, value = next(it)
+                generator._cursor = value
