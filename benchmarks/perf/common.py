@@ -179,6 +179,13 @@ def main(cases: Sequence[BenchCase], argv=None) -> int:
         if seed_ref:
             line += f"  [seed {seed_ref:.3f}s, {seed_ref / elapsed:4.1f}x faster]"
         print(line)
+        if not seed_ref:
+            # Every optimization case should carry its pre-optimization
+            # anchor; a missing one makes the headline "Nx faster"
+            # numbers unverifiable from the committed baseline alone.
+            print(f"WARN: {case.name}: no seed_seconds baseline in "
+                  f"{BASELINE_PATH.name} — record the pre-optimization "
+                  f"timing when scoping the next perf change")
         # One machine-readable record per case, greppable by CI and
         # dashboards: BENCH_JSON {"name": ..., "seconds": ..., ...}.
         # ``ratio`` is current/baseline; the case regresses when it

@@ -92,6 +92,7 @@ class DeviceSpec:
         timing: str = "analytic",
         queue_depth: Optional[int] = None,
         cache_pages: Optional[int] = None,
+        endurance_sigma: Optional[float] = None,
         **ftl_kwargs,
     ) -> BlockDevice:
         """Instantiate the device, optionally capacity-scaled by ``scale``.
@@ -108,6 +109,11 @@ class DeviceSpec:
                 DESIGN.md §13).  Wear accounting is identical either way.
             queue_depth: NCQ depth for the event backend (default 8).
             cache_pages: Write-cache capacity for the event backend.
+            endurance_sigma: Lognormal sigma of the per-block endurance
+                draw, applied to every flash pool; None keeps the
+                package default (0.05).  Fleet cohorts widen it to
+                model binned flash with early-retiring weak blocks
+                (DESIGN.md §15).
         """
         if scale < 1:
             raise ConfigurationError("scale must be >= 1")
@@ -122,9 +128,13 @@ class DeviceSpec:
             main_raw -= self.hybrid.raw_bytes // scale
 
         page = 4 * KIB
+        pkg_kwargs = {}
+        if endurance_sigma is not None:
+            pkg_kwargs["endurance_sigma"] = endurance_sigma
         main_geom = _scaled_geometry(main_raw, page, self.pages_per_block, self.mapping_unit_pages, self.parallel_units)
         main_pkg = FlashPackage(
-            main_geom, cell_spec=CELL_SPECS[self.cell_type].derated(self.endurance), seed=seed
+            main_geom, cell_spec=CELL_SPECS[self.cell_type].derated(self.endurance),
+            seed=seed, **pkg_kwargs,
         )
         ftl_kwargs = dict(_small_device_ftl_defaults(main_geom), **ftl_kwargs)
         if self.hybrid is None:
@@ -142,7 +152,8 @@ class DeviceSpec:
                 self.mapping_unit_pages, 1, min_blocks=16,
             )
             a_pkg = FlashPackage(
-                a_geom, cell_spec=CELL_SPECS[hy.cell_type].derated(hy.endurance), seed=seed
+                a_geom, cell_spec=CELL_SPECS[hy.cell_type].derated(hy.endurance),
+                seed=seed, **pkg_kwargs,
             )
             ftl = HybridFTL(
                 a_pkg,
@@ -330,6 +341,7 @@ def build_device(
     timing: str = "analytic",
     queue_depth: Optional[int] = None,
     cache_pages: Optional[int] = None,
+    endurance_sigma: Optional[float] = None,
     **ftl_kwargs,
 ) -> BlockDevice:
     """Build a catalog device by key (e.g. ``"emmc-8gb"``).
@@ -349,5 +361,6 @@ def build_device(
         timing=timing,
         queue_depth=queue_depth,
         cache_pages=cache_pages,
+        endurance_sigma=endurance_sigma,
         **ftl_kwargs,
     )

@@ -48,7 +48,10 @@ def build_cohort_experiment(spec: CohortSpec, seed: int) -> WearOutExperiment:
     """A fresh member experiment: the campaign wear-out build sequence
     (device → filesystem → rewrite workload → experiment) driven by a
     cohort spec and one member's device seed."""
-    device = build_device(spec.device, scale=spec.scale, seed=seed)
+    device = build_device(
+        spec.device, scale=spec.scale, seed=seed,
+        endurance_sigma=spec.endurance_sigma,
+    )
     fs_kind = spec.filesystem or DEVICE_SPECS[spec.device].default_fs
     fs = make_filesystem(fs_kind, device)
     workload = FileRewriteWorkload(

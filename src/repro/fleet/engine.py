@@ -21,6 +21,19 @@ member's reported result is therefore always the result its scalar run
 produces — either literally (demoted members run it) or provably (the
 certificates establish that the member's run is observable-for-
 observable the leader's run).
+
+Demoted replays ride the leader's megaburst plans (DESIGN.md §15): the
+§14 plan cache validates per-block cycle limits structurally
+(:func:`repro.ftl.plancache._limits_admit`) instead of probing them by
+equality, so the fused windows the leader compiled replay for members
+whose endurance draws differ — a member that drifted only in its stop
+point pays one bisect per window instead of a fresh plan.  The first
+window where a member's weak block actually retires misses the cache
+(its wear passes the member's limit), falls back to a fresh plan that
+bails at the erase, and the scalar step loop takes over — exactly the
+behavior a cold cache would produce, which is why sharing never
+changes results.  ``run_cohort`` reports the cache traffic it
+generated as a non-canonical ``plan_stats`` attribute on the result.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.results import WearOutResult
 from repro.fleet.branch import branch_experiment, build_cohort_experiment
+from repro.ftl import plancache
 from repro.fleet.soa import CohortState, lockstep_ineligibility
 from repro.fleet.spec import CohortSpec, device_seed
 from repro.rng import substream_seed
@@ -96,6 +110,15 @@ class CohortResult:
     ineligible_reason: Optional[str] = None
     canary_reason: Optional[str] = None
     advances: int = 0
+
+    # Plan-cache traffic this run generated (hits/misses/captures
+    # deltas for the leader run and the demotion replays), attached by
+    # ``run_cohort``.  Deliberately NOT a dataclass field and NOT in
+    # ``to_dict``: cache traffic depends on what ran earlier in the
+    # process (serial fleets share one cache; pool workers start cold),
+    # so serializing it would break the worker-count-invariant store
+    # fingerprint contract.  None on results rebuilt by ``from_dict``.
+    plan_stats = None
 
     @property
     def population(self) -> int:
@@ -186,12 +209,16 @@ def run_cohort(
     """Simulate every device of one cohort; exact per-member results.
 
     The cost model: one full scalar experiment for the leader, O(S)
-    numpy reductions per leader advance for the certificates, and one
-    full scalar experiment per *demoted* member.  A certifiable cohort
+    numpy reductions per leader advance for the certificates, one
+    full scalar experiment per *demoted* member — and, with the plan
+    cache on, the demoted replays hit the megaburst windows the leader
+    just compiled (DESIGN.md §15), so their "full" runs collapse to
+    cache probes plus the post-divergence tail.  A certifiable cohort
     of any population therefore costs one device-run plus array math.
     """
     snapshot = prototype_snapshot(spec, cohort_seed, checkpoint_dir)
     seeds = [device_seed(cohort_seed, i) for i in range(spec.population)]
+    stats0 = plancache.stats()
     leader = branch_experiment(spec, seeds[0], snapshot)
 
     # Eligibility gates come first: from_leader introspects the
@@ -222,12 +249,14 @@ def run_cohort(
         state = CohortState.all_ineligible(spec, cohort_seed)
         leader.run(until_level=spec.until_level)
 
+    stats_leader = plancache.stats()
     demoted: Dict[int, WearOutResult] = {}
     for index in state.demoted_indices():
         member = branch_experiment(spec, seeds[int(index)], snapshot)
         demoted[int(index)] = member.run(until_level=spec.until_level)
+    stats_end = plancache.stats()
 
-    return CohortResult(
+    result = CohortResult(
         spec=spec,
         cohort_seed=cohort_seed,
         shared=leader.result,
@@ -237,6 +266,17 @@ def run_cohort(
         canary_reason=canary_reasons[0] if canary_reasons else None,
         advances=advances[0],
     )
+    result.plan_stats = {
+        "leader": {
+            k: stats_leader[k] - stats0[k]
+            for k in ("hits", "misses", "captures")
+        },
+        "demoted": {
+            k: stats_end[k] - stats_leader[k]
+            for k in ("hits", "misses", "captures")
+        },
+    }
+    return result
 
 
 def scalar_member_result(

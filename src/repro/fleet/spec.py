@@ -54,6 +54,18 @@ class CohortSpec:
             the PR-4 checkpoint store) up to this level, then every
             device branches from that snapshot with its own entropy.
             None runs every device cold from construction.
+        endurance_sigma: Lognormal sigma of the per-block endurance
+            draw, overriding the device model's default (0.05).  The
+            catalog's rber/ECC-derived cycle limits sit ~1.27x above
+            nominal endurance for every device, so at the default sigma
+            no block ever crosses its limit before the run ends — every
+            member stays in lockstep.  Wider sigmas model binned /
+            end-of-line flash where weak blocks retire early, which is
+            what makes *heterogeneous* cohorts (some members demoting
+            to scalar replays) reachable.  None keeps the device
+            default and — deliberately — stays out of
+            :meth:`to_dict`, so pre-existing cohort content hashes,
+            derived seeds, and store fingerprints are unchanged.
         seed: Explicit cohort seed, or None to derive one from the
             fleet base seed and this cohort's content hash.
         label: Display label ("benign", "attacker", ...); part of the
@@ -70,6 +82,7 @@ class CohortSpec:
     until_level: int = 3
     duty_cycle: float = 1.0
     warm_until: Optional[int] = None
+    endurance_sigma: Optional[float] = None
     seed: Optional[int] = None
     label: str = ""
 
@@ -88,14 +101,25 @@ class CohortSpec:
             raise ConfigurationError(
                 "warm_until must be in [2, until_level) when set"
             )
+        if self.endurance_sigma is not None and self.endurance_sigma < 0.0:
+            raise ConfigurationError("endurance_sigma must be >= 0 when set")
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical plain-dict form (the content that gets hashed)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Canonical plain-dict form (the content that gets hashed).
+
+        ``endurance_sigma`` is omitted while None so every cohort hash
+        minted before the field existed stays valid — the content hash
+        keys resumable stores and derives seeds, so a default-valued
+        field must hash exactly like its absence.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        if data["endurance_sigma"] is None:
+            del data["endurance_sigma"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CohortSpec":
-        return cls(**{f.name: data[f.name] for f in fields(cls)})
+        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data})
 
     @property
     def display(self) -> str:

@@ -17,6 +17,17 @@ bit-for-bit makes it *bail with nothing planned* (return ``None``), and
 the caller re-executes the same writes through the ordinary scalar path
 — which therefore remains the reference semantics, exceptions included.
 
+One bail is recoverable: a cycle-limit crossing.  Wear is monotone
+within a window, so every group before the crossing erase is provably
+clean — the planner re-walks with the window truncated at the crossing
+group (a shorter fused window, bit-identical by the window-size
+invariance the equivalence tests pin) and the scalar loop takes the
+retiring erase itself.  Devices that already carry bad blocks keep
+fusing: retired blocks sit outside every pool the walk touches (GC
+candidates, free list, valid data), so the only mirror that must see
+them is the static wear-leveling gap check, which — like the scalar
+``wear_gap_exceeds`` — measures the spread over good blocks only.
+
 The plan/commit split is what the megaburst plan cache
 (:mod:`repro.ftl.plancache`, DESIGN.md §14) builds on: a finalized
 :class:`~repro.ftl.plancache.BurstPlan` carries every commit input as
@@ -120,7 +131,7 @@ def plan_write_burst(
     if ftl.read_only or ftl._in_reclaim or ftl._obs is not None:
         return None
     pkg = ftl.package
-    if pkg._obs is not None or pkg._num_bad:
+    if pkg._obs is not None:
         return None
     if type(ftl._victim_policy) is not GreedyVictimPolicy:
         return None
@@ -252,18 +263,33 @@ def plan_write_burst(
     # Produces the burst's end state plus the per-group cumulative erase
     # prefix the plan cache needs to validate budget-matched replays.
     # ------------------------------------------------------------------
-    if kernels.walk_selected():
-        walked = _kernel_walk(
-            ftl, pkg, segments, seg_lens, num_groups, stop_erases, ext_t,
-            exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
-            never_cap, low, high, cfg, L, upb,
-        )
-    else:
-        walked = _inline_walk(
-            ftl, pkg, segments, seg_lens, num_groups, stop_erases, ext_t,
+    def _do_walk(ng):
+        if kernels.walk_selected():
+            return _kernel_walk(
+                ftl, pkg, segments, seg_lens, ng, stop_erases, ext_t,
+                exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
+                never_cap, low, high, cfg, L, upb,
+            )
+        return _inline_walk(
+            ftl, pkg, segments, seg_lens, ng, stop_erases, ext_t,
             exhaust_pos, cof0, pe0, active0, a0, b0_pre, b0_extra,
             never_cap, low, high, cfg,
         )
+
+    walked = _do_walk(num_groups)
+    if isinstance(walked, int):
+        # Retirement crossing inside 0-based group ``walked``: every
+        # group before it is provably clean (wear is monotone within a
+        # window, and the walk replays deterministically), so re-walk
+        # with the window truncated at the crossing group and let the
+        # scalar step loop take the retiring erase itself.  A crossing
+        # in group 0 leaves nothing to fuse.
+        if walked < 1:
+            return None
+        num_groups = walked
+        walked = _do_walk(num_groups)
+        if not isinstance(walked, tuple):
+            return None
     if walked is None:
         return None
     (
@@ -357,7 +383,9 @@ def _inline_walk(
     under dynamic WL, strict-< first-of-ties like pick_free_block) are
     inlined — this loop runs once per block fill and is the simulator's
     true hot path.  Returns None on any event only the scalar path can
-    reproduce.
+    reproduce — except a cycle-limit crossing, which instead returns
+    the 0-based group containing the crossing erase (an int) so the
+    planner can retry with the window truncated to the clean prefix.
     """
     upb = ftl.units_per_block
     perm_l = pkg._pe_permanent.tolist()
@@ -366,6 +394,8 @@ def _inline_walk(
     limit_l = pkg._cycle_limit.tolist()
     frac = pkg.healing.recoverable_fraction
     one_minus = 1.0 - frac
+    num_bad = pkg._num_bad
+    bad_l = pkg.bad_blocks_view.tolist() if num_bad else None
     free = list(ftl._free_blocks)
     dynamic = cfg.dynamic
     static_enabled = cfg.static_enabled
@@ -452,7 +482,7 @@ def _inline_walk(
                             r_ = reco_l[v] + frac
                             e_ = p_ + r_
                             if e_ >= limit_l[v]:
-                                return None  # block would be retired
+                                return group  # crossing: truncate here
                             perm_l[v] = p_
                             reco_l[v] = r_
                             eff_l[v] = e_
@@ -465,7 +495,19 @@ def _inline_walk(
                             wl_ctr += 1
                         if static_enabled and wl_ctr >= wl_interval:
                             wl_ctr = 0
-                            if max(eff_l) - min(eff_l) > wl_threshold:
+                            if num_bad:
+                                # Mirror wear_gap_exceeds: the gap is
+                                # taken over good (non-bad) blocks only.
+                                good_eff = [
+                                    e2 for b2, e2 in enumerate(eff_l)
+                                    if not bad_l[b2]
+                                ]
+                                gap_big = bool(good_eff) and (
+                                    max(good_eff) - min(good_eff) > wl_threshold
+                                )
+                            else:
+                                gap_big = max(eff_l) - min(eff_l) > wl_threshold
+                            if gap_big:
                                 return None  # static WL would migrate
                     # pop_free
                     if nf == 0:
@@ -585,6 +627,7 @@ def _kernel_walk(
     reco = pkg._pe_recoverable.astype(np.float64, copy=True)
     eff = pe0.astype(np.float64, copy=True)
     lim = pkg._cycle_limit.astype(np.float64, copy=True)
+    bad = np.ascontiguousarray(pkg.bad_blocks_view, dtype=np.uint8)
     free0 = list(ftl._free_blocks)
     free_arr = np.empty(n_blocks + 1, dtype=np.int64)
     if free0:
@@ -603,7 +646,7 @@ def _kernel_walk(
     res = kernels.run_walk((
         seg_lens_a, seg_groups_a, ext_t.astype(np.int64),
         pend_ev, pend_blk, cand,
-        perm, reco, eff, lim, free_arr, len(free0),
+        perm, reco, eff, lim, bad, free_arr, len(free0),
         victims, alive_ext_of, closed_flag, prefix,
         heap_k, heap_b, pheap_e, pheap_b,
         upb, low, high, num_groups,
@@ -617,6 +660,9 @@ def _kernel_walk(
         frac, 1.0 - frac, _SCORE_GUARD,
     ))
     status, n_erased, m, C, wl_ctr, active_f, aoff_f, nf, nv = res
+    if status == 3:
+        # Retirement crossing: the bailing group rides in the m slot.
+        return int(m)
     if status != 0:
         return None
     if nv:
@@ -672,6 +718,10 @@ def commit_planned_burst(ftl, plan: BurstPlan) -> None:
     counters.page_programs += plan.units_executed * ftl.unit_pages
     counters.page_reads += plan.rmw_pages
     ftl._erases_since_wl_check = plan.wl_ctr_final
+
+    if kernels.apply_selected():
+        _kernel_commit(ftl, plan)
+        return
 
     valid = ftl._valid
     vcount = ftl._valid_count
@@ -736,3 +786,35 @@ def commit_planned_burst(ftl, plan: BurstPlan) -> None:
             if lowest < hint:
                 hint = lowest
         queue._min_hint = hint
+
+
+def _kernel_commit(ftl, plan: BurstPlan) -> None:
+    """Kernel front end for the apply phase: marshal the plan's arrays
+    into :func:`repro.ftl.kernels.run_apply` and replay the few scalar
+    effects (erase counter, running wear max, free list, queue summary)
+    the fused loop reports back.  Commits the same values as the numpy
+    scatters in :func:`commit_planned_burst` — the kernel transcribes
+    them, it does not re-derive anything."""
+    pkg = ftl.package
+    queue = ftl._gc_queue
+    n_erased = plan.n_erased
+    empty = np.empty(0, dtype=np.int64)
+    cb = plan.cb if plan.cb is not None else empty
+    hb = plan.hb if plan.hb is not None else empty
+    hint, tracked, top = kernels.run_apply((
+        ftl._l2p, ftl._p2l, ftl._valid, ftl._valid_count, ftl._closed,
+        queue._count_of, pkg._pe_permanent, pkg._pe_recoverable,
+        pkg._pe_cache, plan.old_exec, plan.vic_u, plan.vic_perm,
+        plan.vic_reco, plan.vic_eff, plan.a_blocks, plan.red,
+        plan.ppus, plan.su, plan.sv, cb, hb,
+        ftl.units_per_block, n_erased, queue._min_hint,
+        pkg._pe_cache_valid, pkg._pe_max, pkg._pe_max_valid,
+    ))
+    pkg.counters.block_erases += n_erased
+    if pkg._pe_max_valid:
+        pkg._pe_max = float(top)
+    ftl._free_blocks[:] = plan.free_final
+    ftl._active_block = plan.active_final
+    ftl._active_offset = plan.aoff_final
+    queue._tracked = int(tracked)
+    queue._min_hint = int(hint)

@@ -1,9 +1,11 @@
-"""Opt-in compiled walk kernel for the fused burst planner.
+"""Opt-in compiled kernels for the fused burst path.
 
-``REPRO_KERNEL=numba`` routes the burst planner's inner loop — the
-per-block-fill walk of :mod:`repro.ftl.burst` — through the array-based
-transcription below.  When numba is importable the function is jitted
-(``@njit(cache=True)``); when it is not, the *same function* runs
+``REPRO_KERNEL=numba`` routes two inner loops through the array-based
+transcriptions below: the burst planner's per-block-fill *walk*
+(:func:`_walk`) and the commit's *apply* phase (:func:`_apply`, the
+loop form of :func:`repro.ftl.burst.commit_planned_burst`'s vectorized
+scatters).  When numba is importable the functions are jitted
+(``@njit(cache=True)``); when it is not, the *same functions* run
 interpreted, so the path stays locally testable in environments without
 numba and CI can assert digest identity with and without the JIT.
 
@@ -23,7 +25,9 @@ Dicts, sets, and Python lists are replaced by fixed arrays:
 - ``alive``/``closed_in_burst`` become per-block marker arrays.
 
 Status codes: 0 = clean plan, 1 = bail (scalar path must replay),
-2 = capacity overflow (never expected; treated as a bail).
+2 = capacity overflow (never expected; treated as a bail), 3 =
+retirement crossing (the planner truncates the window at the reported
+group and re-walks — see the two-pass retry in ``plan_write_burst``).
 """
 
 from __future__ import annotations
@@ -34,16 +38,21 @@ from typing import Optional
 _ENV = os.environ.get("REPRO_KERNEL", "").strip().lower()
 _selected: str = _ENV if _ENV in ("numba",) else ""
 _compiled = None
+_apply_compiled = None
 _jitted = False
+_apply_jitted = False
 
 
 def select(name: str) -> None:
-    """Select the walk implementation ("numba" or "" for the default
-    inline walk); test hook mirroring the REPRO_KERNEL variable."""
-    global _selected, _compiled, _jitted
+    """Select the kernel implementation ("numba" or "" for the default
+    inline walk + vectorized apply); test hook mirroring the
+    REPRO_KERNEL variable."""
+    global _selected, _compiled, _jitted, _apply_compiled, _apply_jitted
     _selected = name if name in ("numba",) else ""
     _compiled = None
     _jitted = False
+    _apply_compiled = None
+    _apply_jitted = False
 
 
 def walk_selected() -> bool:
@@ -51,10 +60,21 @@ def walk_selected() -> bool:
     return _selected == "numba"
 
 
+def apply_selected() -> bool:
+    """True when ``commit_planned_burst`` should route through
+    :func:`_apply` instead of its vectorized numpy scatters."""
+    return _selected == "numba"
+
+
 def kernel_info() -> dict:
     """Selection + JIT status, for diagnostics and tests."""
     get_walk()
-    return {"selected": _selected or "inline", "jitted": _jitted}
+    get_apply()
+    return {
+        "selected": _selected or "inline",
+        "jitted": _jitted,
+        "apply_jitted": _apply_jitted,
+    }
 
 
 def get_walk():
@@ -80,6 +100,24 @@ def get_walk():
                 _jitted = False
         _compiled = impl
     return _compiled
+
+
+def get_apply():
+    """The apply callable, under the same jit-or-interpreted contract
+    as :func:`get_walk`."""
+    global _apply_compiled, _apply_jitted
+    if _apply_compiled is None:
+        impl = _apply
+        if _selected == "numba":
+            try:
+                import numba
+
+                impl = numba.njit(cache=True)(_apply)
+                _apply_jitted = True
+            except ImportError:
+                _apply_jitted = False
+        _apply_compiled = impl
+    return _apply_compiled
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +226,7 @@ def _walk(
     reco,
     eff,
     limit,
+    bad,
     free_arr,
     n_free0,
     victims,
@@ -222,6 +261,11 @@ def _walk(
 
     Returns ``(status, n_erased, m, C, wl_ctr, active_f, aoff_f,
     n_free_f, n_victims)``; ``active_f`` is -1 for "no active block".
+    Status 3 is the retirement bail: an erase would cross a block's
+    cycle limit inside group ``m`` (returned in the m slot) — groups
+    before it are provably clean (wear is monotone in-window), so the
+    planner retries with the window truncated to ``m`` groups and the
+    scalar loop takes the crossing erase itself.
     """
     hn = 0
     for t in range(cand_blk.shape[0]):
@@ -292,7 +336,7 @@ def _walk(
                             r_ = reco[v] + frac
                             e_ = p_ + r_
                             if e_ >= limit[v]:
-                                return 1, 0, 0, 0, 0, 0, 0, 0, 0
+                                return 3, 0, group, 0, 0, 0, 0, 0, 0
                             perm[v] = p_
                             reco[v] = r_
                             eff[v] = e_
@@ -308,15 +352,25 @@ def _walk(
                             wl_ctr += 1
                         if static_enabled and wl_ctr >= wl_interval:
                             wl_ctr = 0
-                            emax = eff[0]
-                            emin = eff[0]
-                            for t in range(1, n_blocks):
+                            # Mirror wear_gap_exceeds: the gap is taken
+                            # over good (non-bad) blocks only.
+                            emax = 0.0
+                            emin = 0.0
+                            seen = False
+                            for t in range(n_blocks):
+                                if bad[t]:
+                                    continue
                                 e_ = eff[t]
-                                if e_ > emax:
+                                if not seen:
                                     emax = e_
-                                if e_ < emin:
                                     emin = e_
-                            if emax - emin > wl_threshold:
+                                    seen = True
+                                else:
+                                    if e_ > emax:
+                                        emax = e_
+                                    if e_ < emin:
+                                        emin = e_
+                            if seen and emax - emin > wl_threshold:
                                 return 1, 0, 0, 0, 0, 0, 0, 0, 0
                     if nf == 0:
                         return 1, 0, 0, 0, 0, 0, 0, 0, 0
@@ -406,3 +460,122 @@ def run_walk(args) -> Optional[tuple]:
     """Invoke the selected walk implementation with the argument tuple
     assembled by the burst planner; returns the raw result tuple."""
     return get_walk()(*args)
+
+
+def _apply(
+    l2p,
+    p2l,
+    valid,
+    vcount,
+    closed,
+    count_of,
+    perm,
+    reco,
+    pe_cache,
+    old_exec,
+    vic_u,
+    vic_perm,
+    vic_reco,
+    vic_eff,
+    a_blocks,
+    red,
+    ppus,
+    su,
+    sv,
+    cb,
+    hb,
+    upb,
+    n_erased,
+    hint0,
+    pe_cache_valid,
+    pe_max0,
+    pe_max_valid,
+):
+    """The apply phase of ``commit_planned_burst`` as one fused loop
+    nest over the live FTL/flash/queue arrays.
+
+    Transcribes the vectorized numpy commit exactly — same committed
+    values in the same effective order.  Every operation is an integer
+    or boolean scatter, or a float64 *assignment* of a plan-recorded
+    value (never float arithmetic), so bit identity with the numpy
+    path needs no IEEE mirroring: the only float compares are the
+    running-max updates, which match ``apply_erase_burst``'s
+    ``effective.max()`` comparison on the same float64 values.
+
+    ``cb``/``hb`` are empty arrays for "none".  Returns
+    ``(min_hint, tracked, pe_max)``; the caller owns every scalar side
+    effect (stats, counters, free list, cache-validity flags).
+    """
+    n_blocks = closed.shape[0]
+    # Pre-burst mappings overwritten by executed writes go invalid.
+    for i in range(old_exec.shape[0]):
+        pp = old_exec[i]
+        valid[pp] = False
+        vcount[pp // upb] -= 1
+    # Erased blocks: final wear plus a full per-block state reset.
+    top = pe_max0
+    for i in range(vic_u.shape[0]):
+        b = vic_u[i]
+        perm[b] = vic_perm[i]
+        reco[b] = vic_reco[i]
+        e = vic_eff[i]
+        if pe_cache_valid:
+            pe_cache[b] = e
+        if pe_max_valid and e > top:
+            top = e
+        base = b * upb
+        for j in range(upb):
+            p2l[base + j] = -1
+            valid[base + j] = False
+        vcount[b] = 0
+        closed[b] = False
+    # Surviving in-burst placements: reverse map, validity, per-block
+    # counts (segment sums over ``red``), forward map of survivors.
+    n_placed = ppus.shape[0]
+    for i in range(n_placed):
+        pp = ppus[i]
+        p2l[pp] = su[i]
+        valid[pp] = sv[i]
+    n_alive = a_blocks.shape[0]
+    for k in range(n_alive):
+        start = red[k]
+        end = red[k + 1] if k + 1 < n_alive else n_placed
+        s = 0
+        for i in range(start, end):
+            if sv[i]:
+                s += 1
+        vcount[a_blocks[k]] += s
+    for i in range(n_placed):
+        if sv[i]:
+            l2p[su[i]] = ppus[i]
+    for i in range(cb.shape[0]):
+        closed[cb[i]] = True
+    # Victim-queue end state: membership + counts from the committed
+    # arrays, min hint by the scalar infimum rules.
+    tracked = 0
+    for b in range(n_blocks):
+        if closed[b]:
+            count_of[b] = vcount[b]
+            tracked += 1
+        else:
+            count_of[b] = -1
+    if n_erased > 0:
+        hint = 0
+    else:
+        hint = hint0
+        for i in range(hb.shape[0]):
+            c = vcount[hb[i]]
+            if c < hint:
+                hint = c
+        for i in range(cb.shape[0]):
+            c = vcount[cb[i]]
+            if c < hint:
+                hint = c
+    return hint, tracked, top
+
+
+def run_apply(args) -> tuple:
+    """Invoke the selected apply implementation with the argument tuple
+    assembled by ``commit_planned_burst``; returns ``(min_hint,
+    tracked, pe_max)``."""
+    return get_apply()(*args)

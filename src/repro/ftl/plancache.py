@@ -17,6 +17,12 @@ same vectorized commit the fresh path runs
 (:func:`repro.ftl.burst.commit_planned_burst`), so any state the commit
 derives from current values — P/E cache validity, float accumulation
 order on the device clock — behaves exactly as a fresh plan would.
+One planner input is validated structurally instead of by equality:
+per-block cycle limits are read only at the per-erase retirement
+check, so :func:`_limits_admit` re-proves that check against the
+*current* device's limits at find time — which is what lets fused
+windows compiled for a fleet cohort's leader replay across members
+whose endurance draws differ (DESIGN.md §15).
 Anything the probe does not cover is either never read by the fused
 path (read-set audit in DESIGN.md §14) or makes the fused path bail
 before a plan exists.  Conservative invalidation therefore falls out
@@ -165,7 +171,9 @@ class PlanCache:
             "bytes": self._bytes,
         }
 
-    def find(self, key: tuple, probe: tuple, l2p, stop_rel) -> Optional[_Entry]:
+    def find(
+        self, key: tuple, probe: tuple, l2p, stop_rel, cycle_limit
+    ) -> Optional[_Entry]:
         bucket = self._entries.get(key)
         if bucket is None:
             self.misses += 1
@@ -175,6 +183,8 @@ class PlanCache:
                 continue
             plan = entry.plan
             if not _stop_matches(plan, stop_rel):
+                continue
+            if not _limits_admit(plan, cycle_limit):
                 continue
             if plan.probe_lpns.size and not np.array_equal(
                 l2p[plan.probe_lpns], plan.probe_old
@@ -201,6 +211,29 @@ class PlanCache:
             for dropped in old_bucket:
                 self._bytes -= dropped.nbytes
                 self.evictions += 1
+
+
+def _limits_admit(plan: BurstPlan, cycle_limit) -> bool:
+    """True when every erase the plan performs stays strictly under the
+    device's per-block cycle limits.
+
+    Cycle limits are the one planner input that is *structural* rather
+    than positional: the walk reads ``_cycle_limit[v]`` only at the
+    per-erase retirement check (``e_ >= limit`` bails the whole plan),
+    and per-block effective wear grows monotonically within a window,
+    so a plan whose *final* per-victim wear (``vic_eff``) clears a
+    device's limits would have cleared every intermediate check too.
+    That lets the limits live outside the equality probe: a fleet
+    cohort member with its own endurance draw (DESIGN.md §15) replays
+    the leader's plans as long as this predicate holds, and a member
+    whose limit would be crossed misses here — its fresh plan then
+    bails at the same erase and the scalar path retires the block,
+    exactly as re-planning from scratch would.
+
+    A plan with no erases never read the limits; it is valid for any
+    draw (``.all()`` on an empty comparison is True).
+    """
+    return bool((plan.vic_eff < cycle_limit[plan.vic_u]).all())
 
 
 def _stop_matches(plan: BurstPlan, stop_rel: Optional[int]) -> bool:
@@ -263,7 +296,11 @@ def _ftl_probe(ftl) -> tuple:
         queue._min_hint,
         pkg._pe_permanent.tobytes(),
         pkg._pe_recoverable.tobytes(),
-        pkg._cycle_limit.tobytes(),
+        # _cycle_limit is deliberately NOT probed: the planner reads it
+        # only at the per-erase retirement check, which _limits_admit
+        # re-validates structurally at find time — so plans compiled on
+        # a cohort leader replay across members whose endurance draws
+        # differ (DESIGN.md §15).
         pkg.healing.recoverable_fraction,
     )
 
@@ -425,7 +462,7 @@ def lookup(workload, n: int, budget):
         return None
     key = static_key(workload, n)
     ftl = workload.fs.device.ftl
-    entry = _cache.find(key, probe, ftl._l2p, stop_rel)
+    entry = _cache.find(key, probe, ftl._l2p, stop_rel, ftl.package._cycle_limit)
     if entry is None:
         _active = _Capture(key, probe)
         return None

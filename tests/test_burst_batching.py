@@ -142,6 +142,35 @@ class TestBatchedRunEquivalence:
         batched.run(until_level=2)
         assert wrapper.calls == batched.steps_completed
 
+    @pytest.mark.slow
+    def test_retirement_crossing_truncates_and_matches_scalar(self):
+        """A retirement crossing inside a fused window truncates the
+        plan at the crossing group instead of bailing it wholesale
+        (DESIGN.md §15): with a wide endurance spread one block retires
+        mid-run, and the batched trajectory — including the truncated
+        window, the scalar crossing step, and every later window planned
+        around the bad block — must still match the scalar loop
+        bit-for-bit."""
+
+        def experiment():
+            device = build_device(
+                "emmc-8gb", scale=512, seed=127, endurance_sigma=0.35
+            )
+            fs = Ext4Model(device)
+            workload = FileRewriteWorkload(
+                fs, num_files=4, request_bytes=4 * KIB, pattern="seq", seed=127
+            )
+            return WearOutExperiment(device, workload, filesystem=fs)
+
+        batched = experiment()
+        batched.run(until_level=5)
+        scalar = experiment()
+        scalar.step_batching = False
+        scalar.run(until_level=5)
+
+        assert batched.device.ftl.package.bad_blocks_view.any()
+        assert _outcome(batched) == _outcome(scalar)
+
     def test_generic_step_batch_stops_at_budget(self):
         exp = _experiment()
         exp.run(until_level=1)

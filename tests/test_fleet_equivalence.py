@@ -13,6 +13,7 @@ from repro.fleet import (
     run_cohort,
     scalar_member_result,
 )
+from repro.ftl import plancache
 from repro.units import KIB
 
 BASE_SEED = 7
@@ -77,6 +78,38 @@ class TestMemberEquivalence:
         assert cohort.lockstep_count == 1  # only the leader itself
         assert set(cohort.demoted) == {1}
         assert cohort.demote_summary.get("ineligible") == 1
+
+
+class TestDemotionHeavyPlanSharing:
+    @pytest.mark.slow
+    def test_demotion_heavy_seq_cohort_shares_leader_plans(self):
+        """DESIGN.md §15: a wide endurance spread demotes members whose
+        weak blocks retire mid-run.  Their replays must ride the
+        leader's fused windows (demoted plan-cache hits), truncate at
+        their own crossing, and still be bit-identical to their scalar
+        runs — as must every lockstep member."""
+        spec = CohortSpec(device="emmc-8gb", population=4, scale=512,
+                          pattern="seq", request_bytes=4 * KIB,
+                          until_level=5, endurance_sigma=0.5)
+        prev_enabled = plancache.cache().enabled
+        plancache.configure(enabled=True)
+        plancache.clear()
+        plancache.cache().reset_stats()
+        try:
+            cohort = assert_all_members_equivalent(spec)
+        finally:
+            plancache.clear()
+            plancache.configure(enabled=prev_enabled)
+        assert cohort.demoted, "endurance spread produced no demotions"
+        assert 0 < len(cohort.demoted) < spec.population
+        assert cohort.plan_stats["demoted"]["hits"] > 0, (
+            "demoted replays never hit the leader's plans"
+        )
+        # plan_stats is session telemetry, not part of the canonical
+        # record: serialization drops it and a deserialized clone
+        # carries none, so fingerprints stay worker-count invariant.
+        assert "plan_stats" not in cohort.to_dict()
+        assert CohortResult.from_dict(cohort.to_dict()).plan_stats is None
 
 
 class TestCohortResultRecord:

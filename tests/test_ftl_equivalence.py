@@ -608,6 +608,7 @@ class TestKernelSelection:
             info = kernels.kernel_info()
             assert info["selected"] == "numba"
             assert isinstance(info["jitted"], bool)
+            assert isinstance(info["apply_jitted"], bool)
         finally:
             kernels.select("")
         assert kernels.kernel_info()["selected"] == "inline"

@@ -13,12 +13,15 @@ to match the uncached reference exactly.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.campaign.runner import _worker_init
 from repro.core.experiment import WearOutExperiment
 from repro.devices import build_device
+from repro.fleet import CohortSpec, resolve_cohort_seed, run_cohort
 from repro.fs import Ext4Model, F2fsModel
 from repro.ftl import plancache
 from repro.units import KIB
@@ -205,6 +208,29 @@ class TestCachePolicy:
         _worker_init()
         assert plancache.stats()["entries"] == 0
 
+    @pytest.mark.slow
+    def test_cohort_lru_eviction_stays_correct(self):
+        """Satellite: forcing the byte cap down to nothing while a
+        demotion-heavy cohort shares plans between its leader and its
+        demoted replays must evict constantly and change no result bit —
+        the cohort record equals the cache-disabled run exactly."""
+        spec = CohortSpec(device="emmc-8gb", population=4, scale=512,
+                          pattern="seq", request_bytes=4 * KIB,
+                          until_level=5, endurance_sigma=0.5)
+        seed = resolve_cohort_seed(spec, 7)
+
+        plancache.configure(max_bytes=1)  # every insert immediately over cap
+        capped = run_cohort(spec, seed)
+        assert plancache.stats()["evictions"] > 0
+
+        plancache.clear()
+        with plancache.disabled():
+            reference = run_cohort(spec, seed)
+        assert capped.demoted and reference.demoted
+        assert json.dumps(capped.to_dict(), sort_keys=True) == json.dumps(
+            reference.to_dict(), sort_keys=True
+        )
+
     def test_ineligible_device_captures_nothing(self):
         """A statically ineligible device (hybrid FTL) never arms a
         capture, so ineligible runs cost no cache traffic."""
@@ -216,3 +242,89 @@ class TestCachePolicy:
         stats = plancache.stats()
         assert stats["captures"] == 0
         assert stats["misses"] == 0
+
+
+class TestMemberLimitRevalidation:
+    """Per-block cycle limits live outside the equality probe; `find`
+    re-proves the retirement check structurally via `_limits_admit`
+    (DESIGN.md §15), so plans captured on one device replay on a twin
+    with looser limits and miss on a twin whose limit a planned erase
+    would cross."""
+
+    def test_limits_admit_is_structural(self):
+        exp = _experiment(pattern="seq")
+        exp.run(until_level=3)
+        entries = [e for b in plancache.cache()._entries.values() for e in b]
+        erasing = [e.plan for e in entries if e.plan.vic_u.size]
+        assert erasing, "no cached window performed an erase"
+
+        limits = exp.device.ftl.package._cycle_limit
+        plan = erasing[0]
+        # The capturing device's own limits admit (the walk proved every
+        # intermediate check), and looser limits always admit.
+        assert plancache._limits_admit(plan, limits)
+        assert plancache._limits_admit(plan, limits + 1000.0)
+        # A limit at the plan's final wear on any victim refuses: the
+        # fresh walk would bail at that erase and retire the block.
+        tight = limits.copy()
+        pos = int(np.argmax(plan.vic_eff))
+        tight[int(plan.vic_u[pos])] = plan.vic_eff[pos]
+        assert not plancache._limits_admit(plan, tight)
+        # An erase-free plan never read the limits: any draw admits.
+        erase_free = [e.plan for e in entries if not e.plan.vic_u.size]
+        for plan in erase_free:
+            assert plancache._limits_admit(plan, np.zeros_like(limits))
+
+    def test_looser_member_replays_leader_plans(self):
+        leader = _experiment(pattern="seq")
+        leader.run(until_level=3)
+        assert plancache.stats()["captures"] > 0
+
+        def loosened():
+            exp = _experiment(pattern="seq")
+            pkg = exp.device.ftl.package
+            pkg._cycle_limit = pkg._cycle_limit + 50.0
+            return exp
+
+        plancache.cache().reset_stats()
+        member = loosened()
+        member.run(until_level=3)
+        assert plancache.stats()["hits"] > 0
+        with plancache.disabled():
+            reference = loosened()
+            reference.run(until_level=3)
+        assert _outcome(member) == _outcome(reference)
+
+    def test_tighter_member_misses_and_retires_exactly(self):
+        leader = _experiment(pattern="seq")
+        leader.run(until_level=3)
+        entries = [e for b in plancache.cache()._entries.values() for e in b]
+        erasing = [e.plan for e in entries if e.plan.vic_u.size]
+        assert erasing
+        # Clamp one victim's limit to the final wear the hottest cached
+        # plan records for it: `find` must refuse that plan, the fresh
+        # walk truncates at the crossing, and the scalar step retires
+        # the block — identically to never having cached anything.
+        plan = max(erasing, key=lambda p: float(p.vic_eff.max()))
+        pos = int(np.argmax(plan.vic_eff))
+        victim = int(plan.vic_u[pos])
+        ceiling = float(plan.vic_eff[pos])
+
+        def tightened():
+            exp = _experiment(pattern="seq")
+            pkg = exp.device.ftl.package
+            pkg._cycle_limit = pkg._cycle_limit.copy()
+            pkg._cycle_limit[victim] = ceiling
+            return exp
+
+        plancache.cache().reset_stats()
+        member = tightened()
+        member.run(until_level=3)
+        with plancache.disabled():
+            reference = tightened()
+            reference.run(until_level=3)
+        assert _outcome(member) == _outcome(reference)
+        # The tightened limit must actually bite (the refused plan was
+        # re-planned fresh, not replayed): the member's trajectory
+        # diverges from the leader's at the retirement crossing.
+        assert _outcome(member) != _outcome(leader)
